@@ -1,0 +1,55 @@
+// Command canalbench regenerates every table and figure of the Canal Mesh
+// paper from this repository's implementation and prints them as text.
+//
+// Usage:
+//
+//	canalbench              # run everything, in paper order
+//	canalbench fig11 table5 # run selected experiments by ID
+//	canalbench -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"canalmesh/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	ablations := flag.Bool("ablations", false, "include design-choice ablation studies")
+	flag.Parse()
+
+	experiments := bench.All()
+	if *ablations {
+		experiments = append(experiments, bench.Ablations()...)
+	}
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	for _, id := range flag.Args() {
+		selected[id] = true
+	}
+	ran := 0
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		start := time.Now()
+		res := e.Run()
+		fmt.Println(res.String())
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "canalbench: no experiment matched %v (use -list)\n", flag.Args())
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,172 @@
+// Command canalsim runs named cloud-scale scenarios of the Canal Mesh
+// simulation and narrates what happens:
+//
+//	canalsim noisy-neighbor   # surge, alert, precise scaling (Fig 16)
+//	canalsim failover         # replica/backend/AZ failure recovery (Fig 8)
+//	canalsim attack           # session-flood detection and lossy migration (§6.2)
+//	canalsim scatter          # in-phase service scattering (§6.3)
+package main
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"os"
+	"time"
+
+	"canalmesh/internal/anomaly"
+	"canalmesh/internal/bench"
+	"canalmesh/internal/cloud"
+	"canalmesh/internal/gateway"
+	"canalmesh/internal/l7"
+	"canalmesh/internal/netmodel"
+	"canalmesh/internal/sim"
+	"canalmesh/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter>")
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "noisy-neighbor":
+		fmt.Println(bench.Fig16NoisyNeighbor().String())
+	case "failover":
+		failover()
+	case "attack":
+		attack()
+	case "scatter":
+		scatter()
+	default:
+		fmt.Fprintf(os.Stderr, "canalsim: unknown scenario %q\n", os.Args[1])
+		os.Exit(2)
+	}
+}
+
+// build creates the standard two-AZ gateway used by the scenarios.
+func build(seed int64, backends, services int) (*sim.Sim, *cloud.Region, *gateway.Gateway, []*gateway.ServiceState) {
+	s := sim.New(seed)
+	region := cloud.NewRegion(s, "r1", "az1", "az2")
+	g := gateway.New(gateway.Config{Sim: s, Costs: netmodel.Default(), Engine: l7.NewEngine(seed), ShardSize: 3, Seed: seed})
+	for i := 0; i < backends; i++ {
+		az := region.AZ("az1")
+		if i%2 == 1 {
+			az = region.AZ("az2")
+		}
+		if _, err := g.AddBackend(az, 2, 2, false); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := g.AddBackend(region.AZ("az1"), 2, 2, true); err != nil {
+		panic(err)
+	}
+	var sts []*gateway.ServiceState
+	for i := 0; i < services; i++ {
+		addr := netip.AddrFrom4([4]byte{192, 168, 0, byte(i + 1)})
+		st, err := g.RegisterService("tenant1", fmt.Sprintf("svc-%d", i), 100, addr, 80, false,
+			l7.ServiceConfig{DefaultSubset: "v1"})
+		if err != nil {
+			panic(err)
+		}
+		sts = append(sts, st)
+	}
+	return s, region, g, sts
+}
+
+func failover() {
+	s, region, g, sts := build(8, 6, 4)
+	svc := sts[0]
+	flow := cloud.SessionKey{SrcIP: "10.0.0.1", SrcPort: 555, DstIP: "10.1.0.1", DstPort: 80, Proto: 6}
+	resolve := func(label string) {
+		b, err := g.ResolveBackend(svc.ID, "az1", flow)
+		if err != nil {
+			fmt.Printf("%-28s -> UNAVAILABLE (%v)\n", label, err)
+			return
+		}
+		fmt.Printf("%-28s -> %s in %s\n", label, b.ID, b.AZ)
+	}
+	fmt.Printf("service %s shard: ", svc.FullName())
+	for _, b := range svc.Backends {
+		fmt.Printf("%s(%s) ", b.ID, b.AZ)
+	}
+	fmt.Println()
+	resolve("healthy")
+	serving, err := g.ResolveBackend(svc.ID, "az1", flow)
+	if err != nil {
+		panic(err)
+	}
+	serving.Replicas[0].VM.Fail()
+	resolve("one replica down")
+	g.FailBackend(serving)
+	resolve("whole backend down")
+	region.AZ("az1").FailAZ()
+	resolve("AZ az1 down (power loss)")
+	region.AZ("az1").RecoverAZ()
+	resolve("AZ az1 recovered")
+	_ = s
+}
+
+func attack() {
+	s, _, g, sts := build(9, 4, 3)
+	victim := sts[0]
+	fmt.Println("baseline: 100 RPS, ~200 live sessions")
+	victim.Sessions = 200
+	// The attack: sessions surge 40x while RPS stays flat (§6.2 Case #1).
+	workload.SessionFlood(s, 400, time.Second, 10*time.Second, func() { victim.Sessions++ })
+	s.RunUntil(11 * time.Second)
+	sig := anomaly.Signals{
+		WaterLevel:         0.55,
+		RPSGrowth:          1.05,
+		SessionGrowth:      float64(victim.Sessions) / 200,
+		SessionUtilization: 0.82,
+		UserClusterUtil:    -1,
+	}
+	c := anomaly.Classify(sig, anomaly.DefaultThresholds())
+	fmt.Printf("t=%v sessions=%d -> classification: %s (%s)\n", s.Now(), victim.Sessions, c.Action, c.Reason)
+	if c.Action == anomaly.ActionLossyMigrate {
+		done := false
+		if err := g.MigrateToSandbox(victim.ID, gateway.Lossy, func() { done = true }); err != nil {
+			panic(err)
+		}
+		s.RunUntil(s.Now() + 5*time.Second)
+		fmt.Printf("lossy migration completed=%v; service sandboxed=%v, sessions reset to %d\n",
+			done, victim.Sandboxed, victim.Sessions)
+		for _, other := range sts[1:] {
+			b, err := g.ResolveBackend(other.ID, "az1", cloud.SessionKey{SrcIP: "a", SrcPort: 1, DstIP: "b", DstPort: 80, Proto: 6})
+			fmt.Printf("co-tenant %s still resolves to %s (err=%v)\n", other.FullName(), b.ID, err)
+		}
+	}
+}
+
+func scatter() {
+	s, _, g, sts := build(10, 8, 3)
+	// Co-locate all three services on one backend and give them in-phase
+	// diurnal traffic histories.
+	b0 := g.Backends()[0]
+	for _, st := range sts {
+		if !b0.HostsService(st.ID) {
+			if err := g.ExtendService(st.ID, b0); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < 48; i++ {
+		at := time.Duration(i) * time.Second
+		v := 100 + 80*math.Sin(2*math.Pi*float64(i)/24)
+		for _, st := range sts {
+			b0.RPSSeries[st.ID].Append(at, v)
+		}
+		for _, b := range g.Backends()[1:] {
+			b.Util.Append(at, 0.05)
+		}
+	}
+	_ = s
+	pairs := anomaly.InPhaseServices(b0, 0, 48*time.Second, 0.9)
+	fmt.Printf("in-phase pairs on %s: %d\n", b0.ID, len(pairs))
+	moves := anomaly.ScatterInPhase(g, b0, 0, 48*time.Second, 0.9, 2)
+	for _, m := range moves {
+		fmt.Printf("moved %s -> %s (complementary backend)\n", m[0], m[1])
+	}
+	fmt.Printf("%s now hosts %d services (was %d)\n", b0.ID, len(b0.Services()), len(sts))
+}

@@ -1,0 +1,181 @@
+package canal
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const sampleConfig = `{
+  "tenants": [
+    {
+      "name": "acme",
+      "services": [
+        {
+          "name": "web",
+          "default_subset": "v1",
+          "rules": [
+            {
+              "name": "canary",
+              "path": "prefix:/",
+              "splits": {"v1": 90, "v2": 10}
+            },
+            {
+              "name": "legacy",
+              "path": "exact:/old",
+              "path_rewrite": "/new",
+              "timeout_ms": 2000
+            }
+          ],
+          "authz": [
+            {"name": "allow-frontend", "action": "allow", "source": "frontend"}
+          ],
+          "pools": {"v1": ["http://127.0.0.1:1"], "v2": ["http://127.0.0.1:2"]}
+        }
+      ]
+    }
+  ]
+}`
+
+func TestLoadConfigParses(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tenants) != 1 || cfg.Tenants[0].Name != "acme" {
+		t.Fatalf("tenants = %+v", cfg.Tenants)
+	}
+	svc := cfg.Tenants[0].Services[0]
+	built, pools, err := svc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.DefaultSubset != "v1" || len(built.Rules) != 2 || len(built.Authz) != 1 {
+		t.Errorf("built = %+v", built)
+	}
+	if len(pools["v1"]) != 1 {
+		t.Errorf("pools = %v", pools)
+	}
+	if built.Rules[1].PathRewrite != "/new" || built.Rules[1].Timeout.Milliseconds() != 2000 {
+		t.Errorf("legacy rule = %+v", built.Rules[1])
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"empty", `{}`},
+		{"no tenant name", `{"tenants":[{"services":[]}]}`},
+		{"no service name", `{"tenants":[{"name":"t","services":[{"default_subset":"v1","pools":{"v1":["http://x"]}}]}]}`},
+		{"no default subset", `{"tenants":[{"name":"t","services":[{"name":"s","pools":{"v1":["http://x"]}}]}]}`},
+		{"no pools", `{"tenants":[{"name":"t","services":[{"name":"s","default_subset":"v1"}]}]}`},
+		{"unknown field", `{"tenants":[],"bogus":1}`},
+		{"garbage", `{`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadConfig(strings.NewReader(tc.json)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestParseMatchKinds(t *testing.T) {
+	tests := []struct {
+		in    string
+		value string
+		want  bool
+	}{
+		{"exact:/a", "/a", true},
+		{"exact:/a", "/b", false},
+		{"prefix:/api", "/api/v1", true},
+		{"regex:^/v[0-9]+", "/v2/x", true},
+		{"present:", "x", true},
+		{"present:", "", false},
+		{"any:", "anything", true},
+		{"", "anything", true},
+		{"/bare", "/bare", true}, // bare string = exact
+	}
+	for _, tc := range tests {
+		m, err := parseMatch(tc.in)
+		if err != nil {
+			t.Fatalf("parseMatch(%q): %v", tc.in, err)
+		}
+		if got := m.Matches(tc.value); got != tc.want {
+			t.Errorf("parseMatch(%q).Matches(%q) = %v, want %v", tc.in, tc.value, got, tc.want)
+		}
+	}
+	if _, err := parseMatch("glob:*"); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestBuildBadAuthzAction(t *testing.T) {
+	s := ServiceFileEntry{
+		Name: "s", DefaultSubset: "v1",
+		Authz: []AuthzFileEntry{{Name: "x", Action: "permit"}},
+		Pools: map[string][]string{"v1": {"http://x"}},
+	}
+	if _, _, err := s.Build(); err == nil {
+		t.Error("bad authz action should error")
+	}
+}
+
+func TestApplyProvisionsWorkingGateway(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}))
+	defer upstream.Close()
+	// Point the config's pool at the live upstream.
+	cfgJSON := strings.ReplaceAll(sampleConfig, "http://127.0.0.1:1", upstream.URL)
+	cfg, err := LoadConfig(strings.NewReader(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := NewGatewayServer(1)
+	gw.RequireAuth = true
+	cas, err := cfg.Apply(gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cas["acme"] == nil {
+		t.Fatal("tenant CA missing")
+	}
+	gwSrv := httptest.NewServer(gw)
+	defer gwSrv.Close()
+	// Only the allow-listed source identity gets through.
+	id, err := cas["acme"].IssueIdentity("spiffe://acme/sa/frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := NewNodeAgent("acme", id, gwSrv.URL).Get("web", "/home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("frontend status = %d", resp.StatusCode)
+	}
+	other, err := cas["acme"].IssueIdentity("spiffe://acme/sa/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := NewNodeAgent("acme", other, gwSrv.URL).Get("web", "/home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Errorf("batch status = %d, want 403", resp2.StatusCode)
+	}
+}
+
+func TestLoadConfigFileMissing(t *testing.T) {
+	if _, err := LoadConfigFile("/nonexistent/gateway.json"); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,36 @@
+// Noisyneighbor: the Fig 16 scenario as a narrated run — a tenant service
+// surges on a shared multi-tenant gateway backend, the backend-level alert
+// fires, root-cause analysis pinpoints the surging service, and precise
+// scaling (Reuse) restores the water level while co-located services keep
+// their RPS and latency.
+package main
+
+import (
+	"fmt"
+
+	"canalmesh/internal/bench"
+)
+
+func main() {
+	res := bench.Fig16NoisyNeighbor()
+	// Print a compact timeline: backend CPU every 10s plus the key events.
+	cpu := res.Get("backend-cpu (%)")
+	lat := res.Get("victim-latency (ms)")
+	fmt.Println("t(s)   backend CPU   victim P-latency(ms)")
+	for i := 0; i < len(cpu.X); i += 10 {
+		l := "-"
+		if lat != nil {
+			// Find the victim latency sample closest to this time.
+			for j := range lat.X {
+				if lat.X[j] >= cpu.X[i] {
+					l = fmt.Sprintf("%.2f", lat.Y[j])
+					break
+				}
+			}
+		}
+		fmt.Printf("%5.0f  %9.0f%%   %s\n", cpu.X[i], cpu.Y[i], l)
+	}
+	for _, n := range res.Notes {
+		fmt.Println("->", n)
+	}
+}

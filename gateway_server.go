@@ -1,0 +1,385 @@
+package canal
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"canalmesh/internal/l7"
+	"canalmesh/internal/telemetry"
+)
+
+// Identity/auth headers of the real-mode data plane. The NodeAgent signs
+// each request with the workload's mesh identity; the gateway verifies the
+// signature against the tenant's CA — per-request zero-trust authentication
+// without trusting the network in between.
+const (
+	HeaderTenant    = "X-Canal-Tenant"
+	HeaderService   = "X-Canal-Service"
+	HeaderSource    = "X-Canal-Source"
+	HeaderSourcePod = "X-Canal-Source-Pod"
+	HeaderCert      = "X-Canal-Cert"
+	HeaderSignature = "X-Canal-Signature"
+	HeaderTimestamp = "X-Canal-Timestamp"
+	HeaderSubset    = "X-Canal-Subset" // set by the gateway toward upstreams
+)
+
+// authSkew is the accepted clock skew for signed requests.
+const authSkew = 2 * time.Minute
+
+// GatewayServer is the real-TCP centralized mesh gateway: one process
+// serving many tenants, routing on the shared L7 engine and reverse-proxying
+// to registered upstream pools.
+type GatewayServer struct {
+	mu        sync.RWMutex
+	engine    *l7.Engine
+	cas       map[string]*CA                   // tenant -> trust domain
+	upstreams map[string]map[string][]*url.URL // engine service key -> subset -> URLs
+	rr        map[string]int                   // round-robin cursors
+	start     time.Time
+	log       *telemetry.AccessLog
+	// RequireAuth demands a valid identity signature on every request.
+	RequireAuth bool
+}
+
+// NewGatewayServer returns an empty gateway.
+func NewGatewayServer(seed int64) *GatewayServer {
+	return &GatewayServer{
+		engine:    l7.NewEngine(seed),
+		cas:       make(map[string]*CA),
+		upstreams: make(map[string]map[string][]*url.URL),
+		rr:        make(map[string]int),
+		start:     time.Now(),
+		log:       &telemetry.AccessLog{},
+	}
+}
+
+// AccessLog exposes the gateway's L7 access log.
+func (g *GatewayServer) AccessLog() *telemetry.AccessLog { return g.log }
+
+// RegisterTenant installs a tenant's trust domain.
+func (g *GatewayServer) RegisterTenant(tenant string, ca *CA) {
+	g.mu.Lock()
+	g.cas[tenant] = ca
+	g.mu.Unlock()
+}
+
+// serviceKey namespaces a service name by tenant inside the shared engine,
+// the real-mode analogue of the vSwitch's globally unique service IDs.
+func serviceKey(tenant, service string) string { return tenant + "/" + service }
+
+// ConfigureService installs a tenant service's routing configuration and its
+// upstream pools (subset name -> backend URLs).
+func (g *GatewayServer) ConfigureService(tenant string, cfg ServiceConfig, pools map[string][]string) error {
+	key := serviceKey(tenant, cfg.Service)
+	cfg.Service = key
+	if err := g.engine.Configure(cfg); err != nil {
+		return err
+	}
+	parsed := make(map[string][]*url.URL, len(pools))
+	for subset, addrs := range pools {
+		for _, a := range addrs {
+			u, err := url.Parse(a)
+			if err != nil {
+				return fmt.Errorf("canal: upstream %q: %w", a, err)
+			}
+			parsed[subset] = append(parsed[subset], u)
+		}
+	}
+	g.mu.Lock()
+	g.upstreams[key] = parsed
+	g.mu.Unlock()
+	return nil
+}
+
+// SetServiceRate applies (or updates) an emergency throttle on a tenant
+// service — the gateway-side rapid intervention of §6.2.
+func (g *GatewayServer) SetServiceRate(tenant, service string, rps, burst float64) error {
+	return g.engine.SetServiceRate(serviceKey(tenant, service), rps, burst)
+}
+
+// ClearServiceRate removes a throttle.
+func (g *GatewayServer) ClearServiceRate(tenant, service string) {
+	g.engine.ClearServiceRate(serviceKey(tenant, service))
+}
+
+// signingPayload is the byte string a NodeAgent signs per request.
+func signingPayload(tenant, source, method, path, timestamp string) []byte {
+	h := sha256.Sum256([]byte(tenant + "\x00" + source + "\x00" + method + "\x00" + path + "\x00" + timestamp))
+	return h[:]
+}
+
+// authenticate verifies the request's identity signature against the
+// tenant's CA and returns the verified source identity.
+func (g *GatewayServer) authenticate(r *http.Request, tenant string) (string, error) {
+	g.mu.RLock()
+	ca := g.cas[tenant]
+	g.mu.RUnlock()
+	if ca == nil {
+		return "", fmt.Errorf("unknown tenant %q", tenant)
+	}
+	certB64 := r.Header.Get(HeaderCert)
+	sigB64 := r.Header.Get(HeaderSignature)
+	ts := r.Header.Get(HeaderTimestamp)
+	if certB64 == "" || sigB64 == "" || ts == "" {
+		return "", fmt.Errorf("missing identity headers")
+	}
+	certDER, err := base64.StdEncoding.DecodeString(certB64)
+	if err != nil {
+		return "", fmt.Errorf("bad cert encoding: %w", err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(sigB64)
+	if err != nil {
+		return "", fmt.Errorf("bad signature encoding: %w", err)
+	}
+	tsn, err := strconv.ParseInt(ts, 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("bad timestamp: %w", err)
+	}
+	if d := time.Since(time.Unix(tsn, 0)); d > authSkew || d < -authSkew {
+		return "", fmt.Errorf("request timestamp outside accepted skew")
+	}
+	id, pub, err := ca.VerifyPeer(certDER)
+	if err != nil {
+		return "", err
+	}
+	payload := signingPayload(tenant, id, r.Method, r.URL.Path, ts)
+	if !ecdsa.VerifyASN1(pub, payload, sig) {
+		return "", fmt.Errorf("signature verification failed")
+	}
+	return id, nil
+}
+
+// ServeHTTP implements the multi-tenant gateway data path: authenticate,
+// route, pick an upstream from the chosen subset, and reverse-proxy.
+func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	tenant := r.Header.Get(HeaderTenant)
+	service := r.Header.Get(HeaderService)
+	if tenant == "" || service == "" {
+		http.Error(w, "canal: missing tenant/service headers", http.StatusBadRequest)
+		return
+	}
+	source := r.Header.Get(HeaderSource)
+	if g.RequireAuth {
+		id, err := g.authenticate(r, tenant)
+		if err != nil {
+			g.logReq(r, tenant, service, source, http.StatusForbidden, started)
+			http.Error(w, "canal: "+err.Error(), http.StatusForbidden)
+			return
+		}
+		// The verified identity overrides whatever the client claimed.
+		source = shortID(id)
+	}
+
+	req := &Request{
+		Tenant:        tenant,
+		Service:       serviceKey(tenant, service),
+		SourceService: source,
+		SourcePod:     r.Header.Get(HeaderSourcePod),
+		Method:        r.Method,
+		Path:          r.URL.Path,
+		Headers:       flattenHeaders(r.Header),
+		Cookies:       flattenCookies(r),
+		BodyBytes:     int(r.ContentLength),
+		TLS:           r.TLS != nil,
+	}
+	decision, err := g.engine.Route(time.Since(g.start), req)
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		if de, ok := err.(*l7.DecisionError); ok {
+			status = de.Status
+		}
+		g.logReq(r, tenant, service, source, status, started)
+		http.Error(w, "canal: "+err.Error(), status)
+		return
+	}
+
+	if decision.Delay > 0 {
+		// Fault injection: hold the request before proxying.
+		time.Sleep(decision.Delay)
+	}
+	if decision.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), decision.Timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
+	target, err := g.pickUpstream(req.Service, decision.Subset)
+	if err != nil {
+		g.logReq(r, tenant, service, source, http.StatusServiceUnavailable, started)
+		http.Error(w, "canal: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if decision.MirrorTo != "" {
+		if mirror, err := g.pickUpstream(req.Service, decision.MirrorTo); err == nil {
+			go g.mirror(r, mirror, decision)
+		}
+	}
+
+	proxy := &httputil.ReverseProxy{
+		Director: func(out *http.Request) {
+			out.URL.Scheme = target.Scheme
+			out.URL.Host = target.Host
+			if decision.PathRewrite != "" {
+				out.URL.Path = decision.PathRewrite
+			}
+			for k, v := range decision.SetHeaders {
+				out.Header.Set(k, v)
+			}
+			for _, k := range decision.RemoveHeaders {
+				out.Header.Del(k)
+			}
+			out.Header.Set(HeaderSubset, decision.Subset)
+		},
+		ErrorHandler: func(w http.ResponseWriter, _ *http.Request, err error) {
+			g.logReq(r, tenant, service, source, http.StatusBadGateway, started)
+			http.Error(w, "canal: upstream: "+err.Error(), http.StatusBadGateway)
+		},
+	}
+	proxy.ServeHTTP(w, r)
+	g.logReq(r, tenant, service, source, http.StatusOK, started)
+}
+
+// pickUpstream round-robins within a subset pool.
+func (g *GatewayServer) pickUpstream(key, subset string) (*url.URL, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pool := g.upstreams[key][subset]
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("no upstreams for %s subset %q", key, subset)
+	}
+	cursor := key + "|" + subset
+	u := pool[g.rr[cursor]%len(pool)]
+	g.rr[cursor]++
+	return u, nil
+}
+
+// mirror sends a copy of the request to the shadow subset, discarding the
+// response (traffic mirroring for testing-in-production).
+func (g *GatewayServer) mirror(r *http.Request, target *url.URL, decision l7.Decision) {
+	path := r.URL.Path
+	if decision.PathRewrite != "" {
+		path = decision.PathRewrite
+	}
+	req, err := http.NewRequest(r.Method, target.Scheme+"://"+target.Host+path, nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func (g *GatewayServer) logReq(r *http.Request, tenant, service, source string, status int, started time.Time) {
+	g.log.Log(telemetry.AccessEntry{
+		At:      time.Since(g.start),
+		Layer:   telemetry.AccessL7,
+		Where:   "gateway",
+		Tenant:  tenant,
+		Service: service,
+		SrcPod:  source,
+		Method:  r.Method,
+		Path:    r.URL.Path,
+		Status:  status,
+		Latency: time.Since(started),
+	})
+}
+
+func flattenHeaders(h http.Header) map[string]string {
+	out := make(map[string]string, len(h))
+	for k, v := range h {
+		if len(v) > 0 {
+			out[http.CanonicalHeaderKey(k)] = v[0]
+		}
+	}
+	// Route matching uses the original names case-insensitively via
+	// canonical form; expose lower-case too for convenience.
+	for k, v := range h {
+		if len(v) > 0 {
+			out[k] = v[0]
+		}
+	}
+	return out
+}
+
+func flattenCookies(r *http.Request) map[string]string {
+	cookies := r.Cookies()
+	out := make(map[string]string, len(cookies))
+	for _, c := range cookies {
+		out[c.Name] = c.Value
+	}
+	return out
+}
+
+// NodeAgent is the real-mode on-node proxy: it forwards workload requests to
+// the gateway, attaching the workload's mesh identity and a per-request
+// signature (encryption and authentication stay on the user node, §4.1.1).
+type NodeAgent struct {
+	Tenant   string
+	Identity *Identity
+	Gateway  string // gateway base URL
+	Client   *http.Client
+}
+
+// NewNodeAgent returns an agent fronting one workload identity.
+func NewNodeAgent(tenant string, id *Identity, gatewayURL string) *NodeAgent {
+	return &NodeAgent{Tenant: tenant, Identity: id, Gateway: gatewayURL, Client: http.DefaultClient}
+}
+
+// shortID extracts the service name from a SPIFFE-style identity for the
+// source-service header (last path element).
+func shortID(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '/' {
+			return id[i+1:]
+		}
+	}
+	return id
+}
+
+// Do sends one request through the mesh to a destination service.
+func (a *NodeAgent) Do(method, service, path string, body io.Reader, headers map[string]string) (*http.Response, error) {
+	req, err := http.NewRequest(method, a.Gateway+path, body)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	req.Header.Set(HeaderTenant, a.Tenant)
+	req.Header.Set(HeaderService, service)
+	req.Header.Set(HeaderSource, shortID(a.Identity.ID))
+	ts := strconv.FormatInt(time.Now().Unix(), 10)
+	req.Header.Set(HeaderTimestamp, ts)
+	req.Header.Set(HeaderCert, base64.StdEncoding.EncodeToString(a.Identity.CertDER))
+	payload := signingPayload(a.Tenant, a.Identity.ID, method, path, ts)
+	sig, err := signASN1(a.Identity, payload)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HeaderSignature, base64.StdEncoding.EncodeToString(sig))
+	return a.Client.Do(req)
+}
+
+// Get is a convenience wrapper over Do.
+func (a *NodeAgent) Get(service, path string) (*http.Response, error) {
+	return a.Do(http.MethodGet, service, path, nil, nil)
+}
+
+func signASN1(id *Identity, digest []byte) ([]byte, error) {
+	return ecdsa.SignASN1(rand.Reader, id.Key, digest)
+}

@@ -1,0 +1,275 @@
+package anomaly
+
+import (
+	"sort"
+	"time"
+
+	"canalmesh/internal/gateway"
+	"canalmesh/internal/telemetry"
+)
+
+// InPhasePair is two services on the same backend whose traffic patterns
+// exhibit phase synchronization.
+type InPhasePair struct {
+	A, B        uint64
+	Correlation float64
+}
+
+// InPhaseServices finds pairs of services on a backend whose RPS series over
+// [from, to) correlate above minCorr — the phase-synchronization condition
+// of §4.2's traffic pattern monitoring.
+func InPhaseServices(b *gateway.Backend, from, to time.Duration, minCorr float64) []InPhasePair {
+	ids := b.Services()
+	var pairs []InPhasePair
+	for i := 0; i < len(ids); i++ {
+		si := b.RPSSeries[ids[i]]
+		if si == nil {
+			continue
+		}
+		vi := si.Values(from, to)
+		for j := i + 1; j < len(ids); j++ {
+			sj := b.RPSSeries[ids[j]]
+			if sj == nil {
+				continue
+			}
+			vj := sj.Values(from, to)
+			if len(vi) != len(vj) || len(vi) < 3 {
+				continue
+			}
+			if c := telemetry.Correlation(vi, vj); c >= minCorr {
+				pairs = append(pairs, InPhasePair{A: ids[i], B: ids[j], Correlation: c})
+			}
+		}
+	}
+	return pairs
+}
+
+// HTTPSWeight is the resource weight of HTTPS relative to HTTP requests
+// when ranking migration candidates (§6.3: "HTTPS sessions should be
+// weighted three times higher").
+const HTTPSWeight = 3.0
+
+// MigrationCandidate scores one service for scattering.
+type MigrationCandidate struct {
+	Service      uint64
+	WeightedRPS  float64
+	LongSessions int
+}
+
+// SelectServicesToMigrate ranks the candidate services per §6.3: prefer
+// higher (HTTPS-weighted) RPS so fewer migrations relieve the backend, and
+// prefer fewer long-lasting sessions so the move completes quickly. It
+// returns up to count service IDs in migration order.
+func SelectServicesToMigrate(g *gateway.Gateway, b *gateway.Backend, candidates []uint64, from, to time.Duration, count int) []uint64 {
+	var scored []MigrationCandidate
+	for _, id := range candidates {
+		svc := g.Service(id)
+		if svc == nil {
+			continue
+		}
+		series := b.RPSSeries[id]
+		if series == nil {
+			continue
+		}
+		var sum float64
+		for _, v := range series.Values(from, to) {
+			sum += v
+		}
+		if svc.HTTPS {
+			sum *= HTTPSWeight
+		}
+		scored = append(scored, MigrationCandidate{Service: id, WeightedRPS: sum, LongSessions: svc.Sessions})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		// Primary: fewest long-lasting sessions (fast transition).
+		// Secondary: highest weighted RPS (fewest migrations needed).
+		if scored[i].LongSessions != scored[j].LongSessions {
+			return scored[i].LongSessions < scored[j].LongSessions
+		}
+		if scored[i].WeightedRPS != scored[j].WeightedRPS {
+			return scored[i].WeightedRPS > scored[j].WeightedRPS
+		}
+		return scored[i].Service < scored[j].Service
+	})
+	if count > len(scored) {
+		count = len(scored)
+	}
+	out := make([]uint64, 0, count)
+	for _, c := range scored[:count] {
+		out = append(out, c.Service)
+	}
+	return out
+}
+
+// HWHM returns the half-width-at-half-maximum window of a sampled series:
+// the contiguous period around the peak where values stay at or above half
+// of (peak + baseline), baseline being the series minimum (§6.3).
+func HWHM(points []telemetry.Point) (start, end time.Duration, ok bool) {
+	if len(points) < 3 {
+		return 0, 0, false
+	}
+	peakIdx := 0
+	min := points[0].V
+	for i, p := range points {
+		if p.V > points[peakIdx].V {
+			peakIdx = i
+		}
+		if p.V < min {
+			min = p.V
+		}
+	}
+	half := (points[peakIdx].V + min) / 2
+	if points[peakIdx].V <= min {
+		return 0, 0, false // flat series has no peak
+	}
+	lo, hi := peakIdx, peakIdx
+	for lo > 0 && points[lo-1].V >= half {
+		lo--
+	}
+	for hi < len(points)-1 && points[hi+1].V >= half {
+		hi++
+	}
+	return points[lo].T, points[hi].T, true
+}
+
+// SamplePoints returns n timestamps at fixed intervals across [start, end].
+func SamplePoints(start, end time.Duration, n int) []time.Duration {
+	if n <= 1 || end <= start {
+		return []time.Duration{start}
+	}
+	out := make([]time.Duration, n)
+	stepNs := (end - start) / time.Duration(n-1)
+	for i := range out {
+		out[i] = start + stepNs*time.Duration(i)
+	}
+	return out
+}
+
+// valueAt returns the series value at the sample closest to t (0 if empty).
+func valueAt(s *telemetry.Series, t time.Duration) float64 {
+	w := s.Window(0, t+time.Nanosecond)
+	if len(w) == 0 {
+		pts := s.Points()
+		if len(pts) == 0 {
+			return 0
+		}
+		return pts[0].V
+	}
+	return w[len(w)-1].V
+}
+
+// SelectLandingBackends implements §6.3's two-stage landing choice for
+// scattering service svc off backend from:
+//
+//  1. compute the HWHM window of the service's last-24h traffic and take
+//     ten fixed-interval sampling points inside it;
+//  2. G: sum other same-AZ backends' utilization at those points; keep the
+//     five lowest;
+//  3. G': sum those five backends' total RPS over the past 24 h; return
+//     the backends with the lowest sums, complementary-first.
+func SelectLandingBackends(g *gateway.Gateway, svcID uint64, from *gateway.Backend, now time.Duration, count int) []*gateway.Backend {
+	series := from.RPSSeries[svcID]
+	if series == nil {
+		return nil
+	}
+	dayAgo := now - 24*time.Hour
+	if dayAgo < 0 {
+		dayAgo = 0
+	}
+	start, end, ok := HWHM(series.Window(dayAgo, now))
+	if !ok {
+		return nil
+	}
+	samples := SamplePoints(start, end, 10)
+
+	type scored struct {
+		b *gateway.Backend
+		g float64 // stage-1 sum at HWHM sample points
+	}
+	var stage1 []scored
+	for _, b := range g.Backends() {
+		if b == from || b.AZ != from.AZ || !b.Alive() || b.HostsService(svcID) {
+			continue
+		}
+		var sum float64
+		for _, t := range samples {
+			sum += valueAt(b.Util, t)
+		}
+		stage1 = append(stage1, scored{b: b, g: sum})
+	}
+	sort.Slice(stage1, func(i, j int) bool {
+		if stage1[i].g != stage1[j].g {
+			return stage1[i].g < stage1[j].g
+		}
+		return stage1[i].b.ID < stage1[j].b.ID
+	})
+	if len(stage1) > 5 {
+		stage1 = stage1[:5]
+	}
+
+	type scored2 struct {
+		b  *gateway.Backend
+		gp float64 // stage-2 24h RPS sum
+	}
+	var stage2 []scored2
+	for _, s1 := range stage1 {
+		var sum float64
+		for _, series := range s1.b.RPSSeries {
+			for _, v := range series.Values(dayAgo, now) {
+				sum += v
+			}
+		}
+		stage2 = append(stage2, scored2{b: s1.b, gp: sum})
+	}
+	sort.Slice(stage2, func(i, j int) bool {
+		if stage2[i].gp != stage2[j].gp {
+			return stage2[i].gp < stage2[j].gp
+		}
+		return stage2[i].b.ID < stage2[j].b.ID
+	})
+	if count > len(stage2) {
+		count = len(stage2)
+	}
+	out := make([]*gateway.Backend, 0, count)
+	for _, s2 := range stage2[:count] {
+		out = append(out, s2.b)
+	}
+	return out
+}
+
+// ScatterInPhase detects in-phase services on a backend and moves the best
+// migration candidates onto complementary backends, returning the moves
+// performed as (service, target-backend) pairs.
+func ScatterInPhase(g *gateway.Gateway, b *gateway.Backend, from, to time.Duration, minCorr float64, maxMoves int) [][2]string {
+	pairs := InPhaseServices(b, from, to, minCorr)
+	if len(pairs) == 0 {
+		return nil
+	}
+	seen := map[uint64]bool{}
+	var candidates []uint64
+	for _, p := range pairs {
+		for _, id := range []uint64{p.A, p.B} {
+			if !seen[id] {
+				seen[id] = true
+				candidates = append(candidates, id)
+			}
+		}
+	}
+	// Keep one anchor service; migrate the others (up to maxMoves).
+	toMove := SelectServicesToMigrate(g, b, candidates, from, to, maxMoves)
+	var moves [][2]string
+	for _, id := range toMove {
+		if len(candidates)-len(moves) <= 1 {
+			break // leave at least one behind
+		}
+		targets := SelectLandingBackends(g, id, b, to, 1)
+		if len(targets) == 0 {
+			continue
+		}
+		if err := g.MoveService(id, b, targets[0]); err != nil {
+			continue
+		}
+		moves = append(moves, [2]string{g.Service(id).FullName(), targets[0].ID})
+	}
+	return moves
+}

@@ -1,0 +1,420 @@
+// Package beamer implements Canal's LB disaggregation (§4.4, Appendix C
+// Fig. 26): dedicated load balancers are replaced by the ECMP ability of the
+// router in front plus a redirector embedded in every replica. A fixed-size
+// bucket table, identical on all replicas and updated by the controller,
+// maps each flow to a replica chain sorted by priority; SYN packets insert
+// at the chain head (the newest replica) while packets of existing flows
+// chase the chain until the replica holding their flow record is found.
+// This keeps sessions consistent across scale-out, scale-in, and crashes
+// without any dedicated LB appliance.
+package beamer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"canalmesh/internal/bpf"
+	"canalmesh/internal/cloud"
+	"canalmesh/internal/l4"
+)
+
+// DefaultBuckets is the default bucket-table size. It only needs to be large
+// enough to spread flows evenly; it never changes at runtime (fixed size is
+// what makes the hash stable).
+const DefaultBuckets = 256
+
+// DefaultChainLimit extends Beamer's original chain length of 2 to better
+// survive multiple scale events in a short period (§4.4 modification (i)).
+const DefaultChainLimit = 4
+
+// ErrNoReplicas is returned when no alive replica can serve.
+var ErrNoReplicas = errors.New("beamer: no alive replicas")
+
+// Replica is one gateway replica with its embedded redirector state and its
+// kernel flow table.
+type Replica struct {
+	ID       string
+	alive    bool
+	draining bool
+	flows    map[cloud.SessionKey]bool
+}
+
+// Draining reports whether the replica is being taken out of service.
+func (r *Replica) Draining() bool { return r.draining }
+
+// Flows returns the number of flow records the replica holds.
+func (r *Replica) Flows() int { return len(r.flows) }
+
+// Alive reports liveness.
+func (r *Replica) Alive() bool { return r.alive }
+
+// Result describes how one packet was served.
+type Result struct {
+	ServedBy  string
+	Bucket    int
+	Redirects int  // extra hops after the router's ECMP decision
+	NewFlow   bool // a flow record was created
+}
+
+// Beamer is one service's disaggregated load balancer: the bucket table
+// (replica chains) plus the replica set. The same instance stands in for the
+// identical tables the controller installs on every replica.
+type Beamer struct {
+	service    string
+	buckets    [][]string // chain per bucket; index 0 = highest priority
+	chainLimit int
+	replicas   map[string]*Replica
+	order      []string // insertion order for deterministic iteration
+	// bucketProg, when set, computes the bucket in the in-kernel BPF path
+	// instead of the userspace hash ("we use eBPF to accelerate the
+	// redirector", §4.4). It must be installed before any flow arrives:
+	// the bucket mapping anchors session consistency.
+	bucketProg bpf.Program
+	processed  uint64
+}
+
+// New creates a Beamer for a service with the given replica IDs, spreading
+// bucket ownership round-robin.
+func New(service string, replicaIDs []string, numBuckets, chainLimit int) (*Beamer, error) {
+	if len(replicaIDs) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if numBuckets <= 0 {
+		numBuckets = DefaultBuckets
+	}
+	if chainLimit < 2 {
+		chainLimit = DefaultChainLimit
+	}
+	b := &Beamer{
+		service:    service,
+		buckets:    make([][]string, numBuckets),
+		chainLimit: chainLimit,
+		replicas:   make(map[string]*Replica),
+	}
+	for _, id := range replicaIDs {
+		if err := b.addReplica(id); err != nil {
+			return nil, err
+		}
+	}
+	for i := range b.buckets {
+		b.buckets[i] = []string{replicaIDs[i%len(replicaIDs)]}
+	}
+	return b, nil
+}
+
+func (b *Beamer) addReplica(id string) error {
+	if _, ok := b.replicas[id]; ok {
+		return fmt.Errorf("beamer: duplicate replica %q", id)
+	}
+	b.replicas[id] = &Replica{ID: id, alive: true, flows: make(map[cloud.SessionKey]bool)}
+	b.order = append(b.order, id)
+	return nil
+}
+
+// Service returns the owning service ID string.
+func (b *Beamer) Service() string { return b.service }
+
+// Replica returns a replica by ID.
+func (b *Beamer) Replica(id string) *Replica { return b.replicas[id] }
+
+// AliveReplicas returns the IDs of alive replicas in insertion order.
+func (b *Beamer) AliveReplicas() []string {
+	var out []string
+	for _, id := range b.order {
+		if r := b.replicas[id]; r != nil && r.alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AttachBucketProgram installs a verified BPF program that selects the
+// bucket from the serialized 5-tuple — the eBPF acceleration of §4.4. It
+// refuses once flows have been processed, because changing the bucket
+// mapping mid-life would break session consistency.
+func (b *Beamer) AttachBucketProgram(p bpf.Program) error {
+	if b.processed > 0 {
+		return fmt.Errorf("beamer: cannot change bucket mapping after %d processed packets", b.processed)
+	}
+	if err := bpf.Verify(p); err != nil {
+		return err
+	}
+	b.bucketProg = p
+	return nil
+}
+
+// serializeKey lays the 5-tuple out the way the kernel program reads it:
+// src IP string bytes are not available in-kernel, so the ports and proto
+// fields anchor the packet view alongside a hash of the addresses.
+func serializeKey(k cloud.SessionKey) []byte {
+	buf := make([]byte, 13)
+	h := l4.Hash5Tuple(cloud.SessionKey{SrcIP: k.SrcIP, DstIP: k.DstIP})
+	binary.BigEndian.PutUint64(buf[0:8], h)
+	binary.BigEndian.PutUint16(buf[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], k.DstPort)
+	buf[12] = k.Proto
+	return buf
+}
+
+// bucketOf hashes a flow to its bucket; the bucket count is fixed, so the
+// mapping never changes.
+func (b *Beamer) bucketOf(k cloud.SessionKey) int {
+	if b.bucketProg != nil {
+		if v, err := bpf.Run(b.bucketProg, serializeKey(k)); err == nil {
+			return int(v % uint64(len(b.buckets)))
+		}
+		// A failing program falls back to the userspace hash — but since
+		// the program was installed before any traffic, the mapping stays
+		// consistent per flow (Run is deterministic).
+	}
+	return int(l4.Hash5Tuple(k) % uint64(len(b.buckets)))
+}
+
+// Process handles one packet. isSYN marks the first packet of a new flow.
+// The router's stateless ECMP picks a landing replica among alive replicas;
+// the landing replica's redirector then consults the bucket chain and
+// forwards as needed. The returned Result counts those extra redirections.
+func (b *Beamer) Process(k cloud.SessionKey, isSYN bool) (Result, error) {
+	b.processed++
+	alive := b.AliveReplicas()
+	if len(alive) == 0 {
+		return Result{}, ErrNoReplicas
+	}
+	// Router: hash 5-tuple mod #alive replicas (stateless, changes when the
+	// replica set changes — the very problem the redirectors fix).
+	landing := alive[int(l4.Hash5Tuple(k)%uint64(len(alive)))]
+	bucket := b.bucketOf(k)
+	chain := b.buckets[bucket]
+
+	res := Result{Bucket: bucket}
+	if isSYN {
+		// New flows insert at the highest-priority alive replica that is
+		// not draining; a draining replica serves only its existing flows
+		// (Fig 26). If every chain entry is draining, fall back to the
+		// first alive one rather than resetting the connection.
+		insert := func(id string) (Result, error) {
+			b.replicas[id].flows[k] = true
+			res.ServedBy = id
+			res.NewFlow = true
+			if id != landing {
+				res.Redirects = 1
+			}
+			return res, nil
+		}
+		for _, id := range chain {
+			r := b.replicas[id]
+			if r == nil || !r.alive || r.draining {
+				continue
+			}
+			return insert(id)
+		}
+		for _, id := range chain {
+			r := b.replicas[id]
+			if r != nil && r.alive {
+				return insert(id)
+			}
+		}
+		return Result{}, fmt.Errorf("beamer: bucket %d of %s has no alive replica in chain", bucket, b.service)
+	}
+	// Existing flows chase the chain for their flow record.
+	hops := 0
+	if len(chain) > 0 && chain[0] != landing {
+		hops = 1 // router landed us off-chain-head; first redirect to head
+	}
+	for i, id := range chain {
+		r := b.replicas[id]
+		if r == nil || !r.alive {
+			continue
+		}
+		if r.flows[k] {
+			res.ServedBy = id
+			res.Redirects = hops
+			return res, nil
+		}
+		if i < len(chain)-1 {
+			hops++
+		}
+	}
+	return Result{}, fmt.Errorf("beamer: no replica holds flow %s (connection reset)", k)
+}
+
+// ScaleOut adds a replica and makes it the new-flow owner of an even share
+// of buckets by prepending it to their chains (truncated at the chain
+// limit). Existing flows keep flowing to their old owners via the chain.
+func (b *Beamer) ScaleOut(id string) error {
+	if err := b.addReplica(id); err != nil {
+		return err
+	}
+	// Take over every len(alive)-th bucket.
+	alive := b.AliveReplicas()
+	share := len(b.buckets) / len(alive)
+	if share == 0 {
+		share = 1
+	}
+	taken := 0
+	for i := range b.buckets {
+		if taken >= share {
+			break
+		}
+		if len(b.buckets[i]) > 0 && b.buckets[i][0] == id {
+			continue
+		}
+		b.prepend(i, id)
+		taken++
+	}
+	return nil
+}
+
+// Drain prepares a replica to go offline: every bucket it heads gets a new
+// highest-priority owner so new flows avoid it, while the draining replica
+// stays in the chain to serve its existing flows (Fig. 26).
+func (b *Beamer) Drain(id string) error {
+	r := b.replicas[id]
+	if r == nil {
+		return fmt.Errorf("beamer: unknown replica %q", id)
+	}
+	r.draining = true
+	replacementPool := []string{}
+	for _, rid := range b.order {
+		if rr := b.replicas[rid]; rr != nil && rr.alive && !rr.draining && rid != id {
+			replacementPool = append(replacementPool, rid)
+		}
+	}
+	if len(replacementPool) == 0 {
+		return ErrNoReplicas
+	}
+	// Deterministically pick the replacement with the fewest flows.
+	sort.Slice(replacementPool, func(i, j int) bool {
+		fi, fj := b.replicas[replacementPool[i]].Flows(), b.replicas[replacementPool[j]].Flows()
+		if fi != fj {
+			return fi < fj
+		}
+		return replacementPool[i] < replacementPool[j]
+	})
+	n := 0
+	for i := range b.buckets {
+		if len(b.buckets[i]) > 0 && b.buckets[i][0] == id {
+			b.prepend(i, replacementPool[n%len(replacementPool)])
+			n++
+		}
+	}
+	return nil
+}
+
+// Fail marks a replica dead immediately (crash): its flow records are lost
+// and, unlike Drain, affected flows must re-establish. Buckets it headed get
+// new owners.
+func (b *Beamer) Fail(id string) error {
+	r := b.replicas[id]
+	if r == nil {
+		return fmt.Errorf("beamer: unknown replica %q", id)
+	}
+	r.alive = false
+	r.flows = make(map[cloud.SessionKey]bool)
+	if len(b.AliveReplicas()) == 0 {
+		return nil
+	}
+	return b.Drain(id) // install replacements in front of the corpse
+}
+
+// Remove deletes a fully drained replica from all chains and the replica
+// set. It refuses while the replica still holds flows.
+func (b *Beamer) Remove(id string) error {
+	r := b.replicas[id]
+	if r == nil {
+		return fmt.Errorf("beamer: unknown replica %q", id)
+	}
+	if r.alive && r.Flows() > 0 {
+		return fmt.Errorf("beamer: replica %q still holds %d flows", id, r.Flows())
+	}
+	for i, chain := range b.buckets {
+		out := chain[:0]
+		for _, rid := range chain {
+			if rid != id {
+				out = append(out, rid)
+			}
+		}
+		b.buckets[i] = out
+	}
+	delete(b.replicas, id)
+	for i, rid := range b.order {
+		if rid == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// EndFlow removes a finished flow's record from whichever replica holds it.
+func (b *Beamer) EndFlow(k cloud.SessionKey) {
+	for _, r := range b.replicas {
+		delete(r.flows, k)
+	}
+}
+
+// prepend puts id at the head of bucket i's chain, deduplicating and
+// truncating to the chain limit.
+func (b *Beamer) prepend(i int, id string) {
+	chain := []string{id}
+	for _, rid := range b.buckets[i] {
+		if rid != id {
+			chain = append(chain, rid)
+		}
+	}
+	if len(chain) > b.chainLimit {
+		chain = chain[:b.chainLimit]
+	}
+	b.buckets[i] = chain
+}
+
+// ChainOf returns a copy of the chain serving a flow (diagnostics).
+func (b *Beamer) ChainOf(k cloud.SessionKey) []string {
+	return append([]string(nil), b.buckets[b.bucketOf(k)]...)
+}
+
+// MaxChainLen returns the longest current chain, a measure of how many
+// scale events are in flight.
+func (b *Beamer) MaxChainLen() int {
+	max := 0
+	for _, c := range b.buckets {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// Manager keeps one Beamer per service, indexed by service ID — the
+// per-service bucket tables of §4.4 modification (ii).
+type Manager struct {
+	tables map[string]*Beamer
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager { return &Manager{tables: make(map[string]*Beamer)} }
+
+// Install creates the per-service table.
+func (m *Manager) Install(service string, replicaIDs []string, numBuckets, chainLimit int) (*Beamer, error) {
+	b, err := New(service, replicaIDs, numBuckets, chainLimit)
+	if err != nil {
+		return nil, err
+	}
+	m.tables[service] = b
+	return b, nil
+}
+
+// Get returns a service's table, or nil.
+func (m *Manager) Get(service string) *Beamer { return m.tables[service] }
+
+// Services returns installed service IDs, sorted.
+func (m *Manager) Services() []string {
+	out := make([]string, 0, len(m.tables))
+	for s := range m.tables {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+package beamer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"canalmesh/internal/cloud"
+)
+
+// TestRandomizedOperationInvariants drives a Beamer instance through long
+// random sequences of scale-outs, drains, crashes, removals, flow arrivals
+// and departures, checking the structural invariants after every step:
+//
+//  1. a SYN never lands on a draining (non-head) or dead replica;
+//  2. an established flow keeps hitting the replica holding its record;
+//  3. chains never exceed the configured limit;
+//  4. every chain head is an alive replica while any replica is alive.
+func TestRandomizedOperationInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			b, err := New("svc", []string{"r0", "r1", "r2", "r3"}, 64, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nextID := 4
+			alive := map[string]bool{"r0": true, "r1": true, "r2": true, "r3": true}
+			draining := map[string]bool{}
+			owner := map[uint16]string{} // live flows -> owning replica
+			nextPort := uint16(1)
+
+			countAlive := func() int {
+				n := 0
+				for id, ok := range alive {
+					if ok && !draining[id] {
+						_ = id
+						n++
+					}
+				}
+				return n
+			}
+
+			for step := 0; step < 2000; step++ {
+				switch op := rng.Intn(100); {
+				case op < 50: // new flow
+					p := nextPort
+					nextPort++
+					k := flowKey(p)
+					res, err := b.Process(k, true)
+					if len(b.AliveReplicas()) == 0 {
+						if err == nil {
+							t.Fatal("SYN succeeded with no alive replicas")
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("step %d: SYN failed: %v", step, err)
+					}
+					if !alive[res.ServedBy] {
+						t.Fatalf("step %d: SYN landed on dead replica %s", step, res.ServedBy)
+					}
+					if draining[res.ServedBy] && countAlive() > 0 {
+						// A draining replica may only take new flows for
+						// buckets whose whole chain is draining; with a
+						// healthy pool and controller-updated chains this
+						// must not happen.
+						t.Fatalf("step %d: SYN landed on draining replica %s", step, res.ServedBy)
+					}
+					owner[p] = res.ServedBy
+				case op < 75: // revisit an existing flow
+					if len(owner) == 0 {
+						continue
+					}
+					p := randomKey(rng, owner)
+					res, err := b.Process(flowKey(p), false)
+					if err != nil {
+						// Acceptable only if the owner crashed (record lost)
+						// or history was truncated past the chain limit.
+						delete(owner, p)
+						continue
+					}
+					if res.ServedBy != owner[p] {
+						t.Fatalf("step %d: flow %d moved from %s to %s", step, p, owner[p], res.ServedBy)
+					}
+				case op < 80: // flow ends
+					if len(owner) == 0 {
+						continue
+					}
+					p := randomKey(rng, owner)
+					b.EndFlow(flowKey(p))
+					delete(owner, p)
+				case op < 88: // scale out
+					id := fmt.Sprintf("r%d", nextID)
+					nextID++
+					if err := b.ScaleOut(id); err != nil {
+						t.Fatalf("step %d: scale out: %v", step, err)
+					}
+					alive[id] = true
+				case op < 94: // drain one alive, non-draining replica
+					if countAlive() < 2 {
+						continue
+					}
+					id := pickReplica(rng, alive, draining)
+					if id == "" {
+						continue
+					}
+					if err := b.Drain(id); err != nil {
+						t.Fatalf("step %d: drain %s: %v", step, id, err)
+					}
+					draining[id] = true
+				default: // crash
+					if countAlive() < 2 {
+						continue
+					}
+					id := pickReplica(rng, alive, draining)
+					if id == "" {
+						continue
+					}
+					if err := b.Fail(id); err != nil {
+						t.Fatalf("step %d: fail %s: %v", step, id, err)
+					}
+					alive[id] = false
+					// Its flows are gone.
+					for p, o := range owner {
+						if o == id {
+							delete(owner, p)
+						}
+					}
+				}
+
+				if b.MaxChainLen() > 4 {
+					t.Fatalf("step %d: chain length %d exceeds limit", step, b.MaxChainLen())
+				}
+			}
+		})
+	}
+}
+
+func flowKey(p uint16) cloud.SessionKey {
+	return cloud.SessionKey{SrcIP: "10.7.0.1", SrcPort: p, DstIP: "10.8.0.1", DstPort: 443, Proto: 6}
+}
+
+func randomKey(rng *rand.Rand, m map[uint16]string) uint16 {
+	i := rng.Intn(len(m))
+	for k := range m {
+		if i == 0 {
+			return k
+		}
+		i--
+	}
+	panic("unreachable")
+}
+
+func pickReplica(rng *rand.Rand, alive, draining map[string]bool) string {
+	var candidates []string
+	for id, ok := range alive {
+		if ok && !draining[id] {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return ""
+	}
+	// Deterministic order before the draw (map iteration is random).
+	for i := 1; i < len(candidates); i++ {
+		for j := i; j > 0 && candidates[j] < candidates[j-1]; j-- {
+			candidates[j], candidates[j-1] = candidates[j-1], candidates[j]
+		}
+	}
+	return candidates[rng.Intn(len(candidates))]
+}

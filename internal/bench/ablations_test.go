@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationsRun(t *testing.T) {
+	for _, e := range Ablations() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run()
+			if res == nil || res.String() == "" {
+				t.Fatal("empty ablation result")
+			}
+		})
+	}
+}
+
+func TestAblationIncrementalSavingsGrow(t *testing.T) {
+	tb := AblationIncrementalPush()
+	// Istio's full/incremental ratio must grow with cluster size (the O(N²)
+	// vs O(N) gap).
+	var istioSavings []float64
+	for _, row := range tb.Rows {
+		if row[0] != "istio" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		istioSavings = append(istioSavings, v)
+	}
+	if len(istioSavings) < 3 {
+		t.Fatal("missing istio rows")
+	}
+	for i := 1; i < len(istioSavings); i++ {
+		if istioSavings[i] <= istioSavings[i-1] {
+			t.Errorf("incremental saving should grow with cluster size: %v", istioSavings)
+		}
+	}
+}
+
+func TestAblationChainLengthSeparates(t *testing.T) {
+	// Length-2 chains must orphan flows under 3 consecutive drains; the
+	// paper's longer chains must not.
+	short2, _ := beamerDrainRun(2, 3)
+	long4, _ := beamerDrainRun(4, 3)
+	if short2 == 0 {
+		t.Error("length-2 chains should orphan flows under consecutive drains")
+	}
+	if long4 != 0 {
+		t.Errorf("length-4 chains orphaned %d flows; should be 0", long4)
+	}
+	// New flows must establish regardless of chain length.
+	_, newOK := beamerDrainRun(2, 3)
+	if newOK != 200 {
+		t.Errorf("new flows OK = %d, want 200", newOK)
+	}
+}
+
+func TestAblationShardSizeTradeoff(t *testing.T) {
+	tb := AblationShardSize()
+	// k=1 row: full-overlap pairs inevitable with 40 services on 20
+	// backends; blast radius > 1.
+	k1 := tb.Rows[0]
+	if k1[2] == "0" {
+		t.Error("k=1 with 40 services on 20 backends must collide")
+	}
+	// k=3 row: blast radius 1.
+	for _, row := range tb.Rows {
+		if row[0] == "3" && row[3] != "1" {
+			t.Errorf("k=3 blast radius = %s, want 1", row[3])
+		}
+	}
+}
+
+func TestAblationBatchTimeoutAllSlower(t *testing.T) {
+	tb := AblationBatchTimeout()
+	for _, row := range tb.Rows {
+		if row[2] != "slower" {
+			t.Errorf("timeout %s unexpectedly beat software at low concurrency", row[0])
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package bench
+
+import "canalmesh/internal/l7"
+
+// l7Rule returns the quota rule used to generate baseline user-side error
+// codes in the daily-operations experiment: requests on the quota path are
+// rate-limited to (almost) zero, yielding 429s proportional to traffic.
+func l7Rule() l7.Rule {
+	return l7.Rule{
+		Name:      "quota",
+		Match:     l7.RouteMatch{Path: l7.Exact("/quota-exceeded")},
+		RateLimit: &l7.RateLimitSpec{RPS: 0.0001, Burst: 1},
+	}
+}

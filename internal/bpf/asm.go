@@ -1,0 +1,181 @@
+package bpf
+
+// Asm builds programs with labeled jumps resolved at Assemble time, so
+// generated programs (like the redirector's unrolled hash) stay readable.
+type Asm struct {
+	insns  []Insn
+	labels map[string]int
+	// fixups: instruction index -> label it jumps to.
+	fixups map[int]string
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int), fixups: make(map[int]string)}
+}
+
+func (a *Asm) emit(in Insn) *Asm {
+	a.insns = append(a.insns, in)
+	return a
+}
+
+// LoadImm sets dst = imm.
+func (a *Asm) LoadImm(dst uint8, imm int64) *Asm {
+	return a.emit(Insn{Op: OpLoadImm, Dst: dst, Imm: imm})
+}
+
+// Mov sets dst = src.
+func (a *Asm) Mov(dst, src uint8) *Asm { return a.emit(Insn{Op: OpMov, Dst: dst, Src: src}) }
+
+// LoadB/LoadH/LoadW load packet bytes at off into dst.
+func (a *Asm) LoadB(dst uint8, off int32) *Asm { return a.emit(Insn{Op: OpLoadB, Dst: dst, Off: off}) }
+
+// LoadH loads a big-endian uint16.
+func (a *Asm) LoadH(dst uint8, off int32) *Asm { return a.emit(Insn{Op: OpLoadH, Dst: dst, Off: off}) }
+
+// LoadW loads a big-endian uint32.
+func (a *Asm) LoadW(dst uint8, off int32) *Asm { return a.emit(Insn{Op: OpLoadW, Dst: dst, Off: off}) }
+
+// ALU helpers (register operand).
+func (a *Asm) Add(dst, src uint8) *Asm { return a.emit(Insn{Op: OpAdd, Dst: dst, Src: src}) }
+
+// Xor sets dst ^= src.
+func (a *Asm) Xor(dst, src uint8) *Asm { return a.emit(Insn{Op: OpXor, Dst: dst, Src: src}) }
+
+// ALU helpers (immediate operand).
+func (a *Asm) AddImm(dst uint8, imm int64) *Asm {
+	return a.emit(Insn{Op: OpAdd, Dst: dst, Imm: imm, UseImm: true})
+}
+
+// MulImm sets dst *= imm.
+func (a *Asm) MulImm(dst uint8, imm int64) *Asm {
+	return a.emit(Insn{Op: OpMul, Dst: dst, Imm: imm, UseImm: true})
+}
+
+// ModImm sets dst %= imm.
+func (a *Asm) ModImm(dst uint8, imm int64) *Asm {
+	return a.emit(Insn{Op: OpMod, Dst: dst, Imm: imm, UseImm: true})
+}
+
+// AndImm sets dst &= imm.
+func (a *Asm) AndImm(dst uint8, imm int64) *Asm {
+	return a.emit(Insn{Op: OpAnd, Dst: dst, Imm: imm, UseImm: true})
+}
+
+// LshImm sets dst <<= imm.
+func (a *Asm) LshImm(dst uint8, imm int64) *Asm {
+	return a.emit(Insn{Op: OpLsh, Dst: dst, Imm: imm, UseImm: true})
+}
+
+// RshImm sets dst >>= imm.
+func (a *Asm) RshImm(dst uint8, imm int64) *Asm {
+	return a.emit(Insn{Op: OpRsh, Dst: dst, Imm: imm, UseImm: true})
+}
+
+// JLtImm jumps to label when dst < imm.
+func (a *Asm) JLtImm(dst uint8, imm int64, label string) *Asm {
+	a.fixups[len(a.insns)] = label
+	return a.emit(Insn{Op: OpJLt, Dst: dst, Imm: imm, UseImm: true})
+}
+
+// JGtImm jumps to label when dst > imm.
+func (a *Asm) JGtImm(dst uint8, imm int64, label string) *Asm {
+	a.fixups[len(a.insns)] = label
+	return a.emit(Insn{Op: OpJGt, Dst: dst, Imm: imm, UseImm: true})
+}
+
+// Label marks the next instruction's position.
+func (a *Asm) Label(name string) *Asm {
+	a.labels[name] = len(a.insns)
+	return a
+}
+
+// Return emits ldimm r0, v; exit.
+func (a *Asm) Return(v int64) *Asm {
+	a.LoadImm(0, v)
+	return a.emit(Insn{Op: OpExit})
+}
+
+// ReturnR0 exits with whatever R0 holds.
+func (a *Asm) ReturnR0() *Asm { return a.emit(Insn{Op: OpExit}) }
+
+// Assemble resolves labels and verifies the program.
+func (a *Asm) Assemble() (Program, error) {
+	p := make(Program, len(a.insns))
+	copy(p, a.insns)
+	for idx, label := range a.fixups {
+		target, ok := a.labels[label]
+		if !ok {
+			return nil, &LabelError{Label: label}
+		}
+		p[idx].Off = int32(target)
+	}
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LabelError reports an unresolved label.
+type LabelError struct{ Label string }
+
+// Error implements error.
+func (e *LabelError) Error() string { return "bpf: unresolved label " + e.Label }
+
+// Scratch registers used by the generated programs below.
+const (
+	regRet  = 0
+	regLen  = 1
+	regHash = 2
+	regTmp  = 3
+)
+
+// BucketProgram generates the redirector's bucket-selection program: an
+// unrolled FNV-1a over the inner header's first n bytes (the 5-tuple
+// fields), reduced modulo buckets. It mirrors what Canal loads into the
+// kernel to pick a Beamer bucket without a context switch (§4.4).
+func BucketProgram(headerBytes int, buckets int64) (Program, error) {
+	a := NewAsm()
+	// r2 = FNV offset basis.
+	a.LoadImm(regHash, -3750763034362895579) // 14695981039346656037 as int64
+	for off := 0; off < headerBytes; off++ {
+		a.LoadB(regTmp, int32(off))
+		a.Xor(regHash, regTmp)
+		a.MulImm(regHash, 1099511628211) // FNV prime
+	}
+	// r0 = r2 % buckets (mask to 32 bits first so the modulo is stable).
+	a.Mov(regRet, regHash)
+	a.AndImm(regRet, 0x7FFFFFFF)
+	a.ModImm(regRet, buckets)
+	a.ReturnR0()
+	return a.Assemble()
+}
+
+// BucketReference is the plain-Go reference of BucketProgram for
+// differential testing.
+func BucketReference(pkt []byte, headerBytes int, buckets int64) uint64 {
+	var h uint64 = 14695981039346656037
+	for off := 0; off < headerBytes; off++ {
+		h ^= uint64(pkt[off])
+		h *= 1099511628211
+	}
+	return (h & 0x7FFFFFFF) % uint64(buckets)
+}
+
+// Small-packet classifier verdicts.
+const (
+	VerdictForward   = 0
+	VerdictAggregate = 1
+)
+
+// SmallPacketProgram generates the Nagle-side classifier the on-node proxy
+// attaches before eBPF redirection (§4.1.2): packets below mss bytes are
+// marked for aggregation, full-size packets forward immediately.
+func SmallPacketProgram(mss int64) (Program, error) {
+	a := NewAsm()
+	a.JLtImm(regLen, mss, "aggregate")
+	a.Return(VerdictForward)
+	a.Label("aggregate")
+	a.Return(VerdictAggregate)
+	return a.Assemble()
+}

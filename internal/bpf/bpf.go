@@ -1,0 +1,215 @@
+// Package bpf implements the eBPF-style packet-program substrate Canal's
+// data plane leans on: the on-node proxy redirects traffic with eBPF
+// (§4.1.2) and the Beamer redirectors are "accelerated with eBPF" (§4.4).
+// The package provides a small register machine over packet bytes with the
+// safety properties that make kernel offload viable: a verifier enforcing
+// bounded execution (forward-only jumps, in-range registers, mandatory
+// exit) and an interpreter with bounds-checked packet access.
+//
+// Programs receive the packet in a read-only buffer, R1 preloaded with the
+// packet length, and return a verdict in R0. Verdict semantics belong to
+// the attachment point (redirect target index, bucket number, pass/drop).
+package bpf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. ALU ops operate dst = dst <op> (src register or immediate,
+// selected by the instruction's UseImm flag).
+const (
+	OpExit Op = iota
+	OpLoadImm
+	OpMov
+	OpLoadB // dst = pkt[off] (byte)
+	OpLoadH // dst = big-endian uint16 at pkt[off]
+	OpLoadW // dst = big-endian uint32 at pkt[off]
+	OpAdd
+	OpSub
+	OpMul
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpLsh
+	OpRsh
+	OpJmp // unconditional forward jump to Off
+	OpJEq // if dst == operand jump to Off
+	OpJNe
+	OpJGt
+	OpJLt
+	opMax
+)
+
+// String names the opcode.
+func (o Op) String() string {
+	names := [...]string{"exit", "ldimm", "mov", "ldb", "ldh", "ldw",
+		"add", "sub", "mul", "mod", "and", "or", "xor", "lsh", "rsh",
+		"ja", "jeq", "jne", "jgt", "jlt"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumRegs is the register-file size. R0 is the return value, R1 arrives
+// holding the packet length.
+const NumRegs = 8
+
+// MaxInsns bounds program size, mirroring kernel limits.
+const MaxInsns = 4096
+
+// Insn is one instruction.
+type Insn struct {
+	Op     Op
+	Dst    uint8
+	Src    uint8
+	Off    int32 // jump target (absolute instruction index) or packet offset
+	Imm    int64
+	UseImm bool // ALU/jump operand is Imm instead of Src
+}
+
+// Program is a sequence of instructions.
+type Program []Insn
+
+// Verification errors.
+var (
+	ErrTooLong     = errors.New("bpf: program exceeds MaxInsns")
+	ErrEmpty       = errors.New("bpf: empty program")
+	ErrBadRegister = errors.New("bpf: register out of range")
+	ErrBadJump     = errors.New("bpf: jump target invalid (must be forward and in-bounds)")
+	ErrNoExit      = errors.New("bpf: execution can fall off the end of the program")
+	ErrBadOpcode   = errors.New("bpf: unknown opcode")
+	ErrDivByZero   = errors.New("bpf: modulo by zero")
+	ErrOOB         = errors.New("bpf: packet access out of bounds")
+)
+
+// Verify statically checks the program: size limits, register ranges,
+// forward-only in-bounds jumps (guaranteeing termination, as in classic
+// BPF), and that execution cannot run past the last instruction.
+func Verify(p Program) error {
+	if len(p) == 0 {
+		return ErrEmpty
+	}
+	if len(p) > MaxInsns {
+		return ErrTooLong
+	}
+	for i, in := range p {
+		if in.Op >= opMax {
+			return fmt.Errorf("%w at %d: %d", ErrBadOpcode, i, in.Op)
+		}
+		if in.Dst >= NumRegs || in.Src >= NumRegs {
+			return fmt.Errorf("%w at %d", ErrBadRegister, i)
+		}
+		switch in.Op {
+		case OpJmp, OpJEq, OpJNe, OpJGt, OpJLt:
+			if int(in.Off) <= i || int(in.Off) >= len(p) {
+				return fmt.Errorf("%w at %d -> %d", ErrBadJump, i, in.Off)
+			}
+		}
+	}
+	// Falling off the end: the last instruction must be a terminator
+	// (exit or an unconditional jump cannot be last since jumps are
+	// forward-only, so effectively: exit).
+	if last := p[len(p)-1]; last.Op != OpExit {
+		return ErrNoExit
+	}
+	return nil
+}
+
+// Run executes a verified program over pkt and returns R0. Programs that
+// were not Verify-ed may return ErrBadOpcode/ErrBadJump dynamically but can
+// never loop: the program counter only moves forward.
+func Run(p Program, pkt []byte) (uint64, error) {
+	var r [NumRegs]uint64
+	r[1] = uint64(len(pkt))
+	pc := 0
+	for pc < len(p) {
+		in := p[pc]
+		operand := func() uint64 {
+			if in.UseImm {
+				return uint64(in.Imm)
+			}
+			return r[in.Src]
+		}
+		switch in.Op {
+		case OpExit:
+			return r[0], nil
+		case OpLoadImm:
+			r[in.Dst] = uint64(in.Imm)
+		case OpMov:
+			r[in.Dst] = operand()
+		case OpLoadB:
+			off := int(in.Off)
+			if off < 0 || off >= len(pkt) {
+				return 0, fmt.Errorf("%w: byte at %d of %d", ErrOOB, off, len(pkt))
+			}
+			r[in.Dst] = uint64(pkt[off])
+		case OpLoadH:
+			off := int(in.Off)
+			if off < 0 || off+2 > len(pkt) {
+				return 0, fmt.Errorf("%w: half at %d of %d", ErrOOB, off, len(pkt))
+			}
+			r[in.Dst] = uint64(pkt[off])<<8 | uint64(pkt[off+1])
+		case OpLoadW:
+			off := int(in.Off)
+			if off < 0 || off+4 > len(pkt) {
+				return 0, fmt.Errorf("%w: word at %d of %d", ErrOOB, off, len(pkt))
+			}
+			r[in.Dst] = uint64(pkt[off])<<24 | uint64(pkt[off+1])<<16 | uint64(pkt[off+2])<<8 | uint64(pkt[off+3])
+		case OpAdd:
+			r[in.Dst] += operand()
+		case OpSub:
+			r[in.Dst] -= operand()
+		case OpMul:
+			r[in.Dst] *= operand()
+		case OpMod:
+			v := operand()
+			if v == 0 {
+				return 0, ErrDivByZero
+			}
+			r[in.Dst] %= v
+		case OpAnd:
+			r[in.Dst] &= operand()
+		case OpOr:
+			r[in.Dst] |= operand()
+		case OpXor:
+			r[in.Dst] ^= operand()
+		case OpLsh:
+			r[in.Dst] <<= operand() & 63
+		case OpRsh:
+			r[in.Dst] >>= operand() & 63
+		case OpJmp:
+			pc = int(in.Off)
+			continue
+		case OpJEq, OpJNe, OpJGt, OpJLt:
+			a, b := r[in.Dst], operand()
+			taken := false
+			switch in.Op {
+			case OpJEq:
+				taken = a == b
+			case OpJNe:
+				taken = a != b
+			case OpJGt:
+				taken = a > b
+			case OpJLt:
+				taken = a < b
+			}
+			if taken {
+				if int(in.Off) <= pc {
+					return 0, ErrBadJump
+				}
+				pc = int(in.Off)
+				continue
+			}
+		default:
+			return 0, fmt.Errorf("%w: %d", ErrBadOpcode, in.Op)
+		}
+		pc++
+	}
+	return 0, ErrNoExit
+}

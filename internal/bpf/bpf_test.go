@@ -1,0 +1,228 @@
+package bpf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustAssemble(t *testing.T, a *Asm) Program {
+	t.Helper()
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReturnConstant(t *testing.T) {
+	p := mustAssemble(t, NewAsm().Return(42))
+	v, err := Run(p, nil)
+	if err != nil || v != 42 {
+		t.Fatalf("Run = %d, %v", v, err)
+	}
+}
+
+func TestPacketLoads(t *testing.T) {
+	pkt := []byte{0xAB, 0xCD, 0xEF, 0x01, 0x23}
+	cases := []struct {
+		build func(*Asm) *Asm
+		want  uint64
+	}{
+		{func(a *Asm) *Asm { return a.LoadB(0, 0).ReturnR0() }, 0xAB},
+		{func(a *Asm) *Asm { return a.LoadH(0, 1).ReturnR0() }, 0xCDEF},
+		{func(a *Asm) *Asm { return a.LoadW(0, 1).ReturnR0() }, 0xCDEF0123},
+	}
+	for i, tc := range cases {
+		p := mustAssemble(t, tc.build(NewAsm()))
+		v, err := Run(p, pkt)
+		if err != nil || v != tc.want {
+			t.Errorf("case %d: Run = %#x, %v (want %#x)", i, v, err, tc.want)
+		}
+	}
+}
+
+func TestPacketLoadOutOfBounds(t *testing.T) {
+	for _, build := range []func(*Asm) *Asm{
+		func(a *Asm) *Asm { return a.LoadB(0, 5).ReturnR0() },
+		func(a *Asm) *Asm { return a.LoadH(0, 4).ReturnR0() },
+		func(a *Asm) *Asm { return a.LoadW(0, 2).ReturnR0() },
+	} {
+		p := mustAssemble(t, build(NewAsm()))
+		if _, err := Run(p, []byte{1, 2, 3, 4, 5}); !errors.Is(err, ErrOOB) {
+			t.Errorf("err = %v, want ErrOOB", err)
+		}
+	}
+}
+
+func TestPacketLengthInR1(t *testing.T) {
+	p := mustAssemble(t, NewAsm().Mov(0, 1).ReturnR0())
+	v, err := Run(p, make([]byte, 77))
+	if err != nil || v != 77 {
+		t.Fatalf("Run = %d, %v", v, err)
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	// r0 = ((10 + 5) * 4) % 7 = 60 % 7 = 4; then shifted and masked.
+	a := NewAsm().
+		LoadImm(0, 10).
+		AddImm(0, 5).
+		MulImm(0, 4).
+		ModImm(0, 7).
+		LshImm(0, 4). // 64
+		RshImm(0, 2). // 16
+		AndImm(0, 0xF).
+		ReturnR0()
+	p := mustAssemble(t, a)
+	v, err := Run(p, nil)
+	if err != nil || v != 0 {
+		t.Fatalf("Run = %d, %v (want 0: 16 & 0xF)", v, err)
+	}
+}
+
+func TestModByZero(t *testing.T) {
+	p := mustAssemble(t, NewAsm().LoadImm(0, 5).ModImm(0, 1).ReturnR0())
+	// Patch the immediate to zero post-verification (runtime check).
+	p[1].Imm = 0
+	if _, err := Run(p, nil); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("err = %v, want ErrDivByZero", err)
+	}
+}
+
+func TestConditionalJumps(t *testing.T) {
+	// if len < 100 return 1 else return 0
+	prog, err := SmallPacketProgram(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := Run(prog, make([]byte, 16)); v != VerdictAggregate {
+		t.Errorf("16B packet verdict = %d, want aggregate", v)
+	}
+	if v, _ := Run(prog, make([]byte, 1460)); v != VerdictForward {
+		t.Errorf("full packet verdict = %d, want forward", v)
+	}
+	if v, _ := Run(prog, make([]byte, 100)); v != VerdictForward {
+		t.Errorf("boundary packet verdict = %d, want forward (>=mss)", v)
+	}
+}
+
+func TestVerifierRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+		want error
+	}{
+		{"empty", Program{}, ErrEmpty},
+		{"no exit", Program{{Op: OpLoadImm, Dst: 0}}, ErrNoExit},
+		{"bad register", Program{{Op: OpMov, Dst: 9}, {Op: OpExit}}, ErrBadRegister},
+		{"backward jump", Program{
+			{Op: OpLoadImm, Dst: 0},
+			{Op: OpJmp, Off: 0}, // loop!
+			{Op: OpExit},
+		}, ErrBadJump},
+		{"self jump", Program{
+			{Op: OpJmp, Off: 0},
+			{Op: OpExit},
+		}, ErrBadJump},
+		{"jump out of bounds", Program{
+			{Op: OpJEq, Dst: 0, Off: 99, UseImm: true},
+			{Op: OpExit},
+		}, ErrBadJump},
+		{"unknown opcode", Program{{Op: opMax}, {Op: OpExit}}, ErrBadOpcode},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Verify(tc.p); !errors.Is(err, tc.want) {
+				t.Errorf("Verify = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	long := make(Program, MaxInsns+1)
+	for i := range long {
+		long[i] = Insn{Op: OpExit}
+	}
+	if err := Verify(long); !errors.Is(err, ErrTooLong) {
+		t.Errorf("long program: %v", err)
+	}
+}
+
+func TestTerminationEvenUnverified(t *testing.T) {
+	// A malicious unverified program cannot loop: Run rejects non-forward
+	// taken jumps at runtime too.
+	p := Program{
+		{Op: OpJEq, Dst: 0, Imm: 0, UseImm: true, Off: 0}, // self-jump, always taken
+		{Op: OpExit},
+	}
+	if _, err := Run(p, nil); !errors.Is(err, ErrBadJump) {
+		t.Errorf("err = %v, want ErrBadJump", err)
+	}
+}
+
+func TestBucketProgramMatchesReference(t *testing.T) {
+	const headerBytes = 13 // the inner 5-tuple fields (src, dst, ports, proto)
+	prog, err := BucketProgram(headerBytes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pkt [16]byte) bool {
+		got, err := Run(prog, pkt[:])
+		if err != nil {
+			return false
+		}
+		return got == BucketReference(pkt[:], headerBytes, 64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketProgramSpread(t *testing.T) {
+	prog, err := BucketProgram(13, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 16)
+	pkt := make([]byte, 16)
+	for i := 0; i < 4096; i++ {
+		pkt[0], pkt[1] = byte(i), byte(i>>8)
+		pkt[8], pkt[9] = byte(i*7), byte(i*13)
+		v, err := Run(prog, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	for b, n := range counts {
+		if n < 128 || n > 512 {
+			t.Errorf("bucket %d got %d of 4096; poor spread %v", b, n, counts)
+		}
+	}
+}
+
+func TestBucketProgramShortPacket(t *testing.T) {
+	prog, err := BucketProgram(13, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, make([]byte, 4)); !errors.Is(err, ErrOOB) {
+		t.Errorf("short packet: %v, want ErrOOB", err)
+	}
+}
+
+func TestUnresolvedLabel(t *testing.T) {
+	_, err := NewAsm().JLtImm(1, 5, "nowhere").Return(0).Assemble()
+	var le *LabelError
+	if !errors.As(err, &le) || le.Label != "nowhere" {
+		t.Errorf("err = %v, want LabelError", err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpExit.String() != "exit" || OpJLt.String() != "jlt" {
+		t.Error("op names")
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op should stringify")
+	}
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"testing"
+
+	"canalmesh/internal/cloud"
+)
+
+func newCluster(t *testing.T) *Cluster {
+	t.Helper()
+	tn, err := cloud.NewTenant("t1", "alpha", "10.0.0.0/16", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New("c1", tn)
+}
+
+func bigNode(c *Cluster, name string) *Node {
+	return c.AddNode(name, "r1", "az1", Resources{MilliCPU: 32000, MemMB: 64000})
+}
+
+func TestAddServiceIdempotent(t *testing.T) {
+	c := newCluster(t)
+	a := c.AddService("web", 80, 3)
+	b := c.AddService("web", 80, 3)
+	if a != b {
+		t.Error("AddService should return existing service")
+	}
+	if len(c.Services()) != 1 {
+		t.Errorf("services = %d, want 1", len(c.Services()))
+	}
+}
+
+func TestAddPodAllocatesDistinctIPs(t *testing.T) {
+	c := newCluster(t)
+	n := bigNode(c, "n1")
+	c.AddService("web", 80, 1)
+	p1, err := c.AddPod("web", n, Resources{MilliCPU: 100, MemMB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.AddPod("web", n, Resources{MilliCPU: 100, MemMB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.IP == p2.IP {
+		t.Error("pods must get distinct IPs")
+	}
+	if !c.Tenant.VPC.CIDR.Contains(p1.IP) {
+		t.Error("pod IP outside VPC")
+	}
+	if p1.Name == p2.Name {
+		t.Error("pod names must be unique")
+	}
+}
+
+func TestAddPodUnknownService(t *testing.T) {
+	c := newCluster(t)
+	n := bigNode(c, "n1")
+	if _, err := c.AddPod("ghost", n, Resources{}); err == nil {
+		t.Error("expected error for unknown service")
+	}
+}
+
+func TestNodeCapacityEnforced(t *testing.T) {
+	c := newCluster(t)
+	n := c.AddNode("small", "r1", "az1", Resources{MilliCPU: 250, MemMB: 512})
+	c.AddService("web", 80, 1)
+	if _, err := c.AddPod("web", n, Resources{MilliCPU: 200, MemMB: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddPod("web", n, Resources{MilliCPU: 200, MemMB: 256}); err == nil {
+		t.Error("expected node-full error")
+	}
+}
+
+func TestSidecarConsumesNodeResources(t *testing.T) {
+	c := newCluster(t)
+	n := bigNode(c, "n1")
+	c.AddService("web", 80, 1)
+	if _, err := c.AddPod("web", n, Resources{MilliCPU: 1000, MemMB: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	before := n.Used()
+	c.InjectSidecars(Resources{MilliCPU: 500, MemMB: 300})
+	after := n.Used()
+	if after.MilliCPU-before.MilliCPU != 500 || after.MemMB-before.MemMB != 300 {
+		t.Errorf("sidecar injection delta = %+v -> %+v", before, after)
+	}
+}
+
+func TestRemovePod(t *testing.T) {
+	c := newCluster(t)
+	n := bigNode(c, "n1")
+	c.AddService("web", 80, 1)
+	p, _ := c.AddPod("web", n, Resources{MilliCPU: 100, MemMB: 100})
+	if err := c.RemovePod(p.Name); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPods() != 0 {
+		t.Error("pod should be removed")
+	}
+	if len(n.Pods()) != 0 {
+		t.Error("pod should leave the node")
+	}
+	if err := c.RemovePod(p.Name); err == nil {
+		t.Error("removing twice should error")
+	}
+}
+
+func TestWatchEvents(t *testing.T) {
+	c := newCluster(t)
+	n := bigNode(c, "n1")
+	var events []Event
+	c.Watch(func(e Event) { events = append(events, e) })
+
+	c.AddService("web", 80, 1)
+	p, _ := c.AddPod("web", n, Resources{MilliCPU: 1, MemMB: 1})
+	c.UpdateRoutes("web", 5)
+	c.RemovePod(p.Name)
+
+	kinds := []EventKind{EventServiceAdded, EventPodAdded, EventRouteUpdated, EventPodRemoved}
+	if len(events) != len(kinds) {
+		t.Fatalf("events = %d, want %d", len(events), len(kinds))
+	}
+	for i, k := range kinds {
+		if events[i].Kind != k {
+			t.Errorf("event %d = %v, want %v", i, events[i].Kind, k)
+		}
+	}
+	if c.Service("web").L7Rules != 5 {
+		t.Error("UpdateRoutes should change rule count")
+	}
+}
+
+func TestUpdateRoutesUnknownService(t *testing.T) {
+	c := newCluster(t)
+	if err := c.UpdateRoutes("ghost", 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestPodsOfAndSorting(t *testing.T) {
+	c := newCluster(t)
+	bigNode(c, "n1")
+	bigNode(c, "n2")
+	c.AddService("web", 80, 1)
+	c.AddService("api", 8080, 2)
+	if _, err := c.SpreadPods("web", 5, Resources{MilliCPU: 10, MemMB: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SpreadPods("api", 3, Resources{MilliCPU: 10, MemMB: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.PodsOf("web")); got != 5 {
+		t.Errorf("web pods = %d, want 5", got)
+	}
+	if got := len(c.PodsOf("api")); got != 3 {
+		t.Errorf("api pods = %d, want 3", got)
+	}
+	if c.NumPods() != 8 {
+		t.Errorf("NumPods = %d, want 8", c.NumPods())
+	}
+	pods := c.Pods()
+	for i := 1; i < len(pods); i++ {
+		if pods[i-1].Name >= pods[i].Name {
+			t.Fatal("Pods() must be sorted by name")
+		}
+	}
+}
+
+func TestSpreadPodsRoundRobin(t *testing.T) {
+	c := newCluster(t)
+	n1 := bigNode(c, "n1")
+	n2 := bigNode(c, "n2")
+	c.AddService("web", 80, 1)
+	if _, err := c.SpreadPods("web", 4, Resources{MilliCPU: 10, MemMB: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if len(n1.Pods()) != 2 || len(n2.Pods()) != 2 {
+		t.Errorf("round-robin spread: n1=%d n2=%d", len(n1.Pods()), len(n2.Pods()))
+	}
+}
+
+func TestSpreadPodsNoNodes(t *testing.T) {
+	c := newCluster(t)
+	c.AddService("web", 80, 1)
+	if _, err := c.SpreadPods("web", 1, Resources{}); err == nil {
+		t.Error("expected error with no nodes")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventPodAdded.String() != "PodAdded" || EventKind(99).String() == "" {
+		t.Error("EventKind.String misbehaves")
+	}
+}
+
+func TestNodePlaceIncludesCluster(t *testing.T) {
+	c := newCluster(t)
+	n := c.AddNode("n1", "r1", "az2", Resources{MilliCPU: 1, MemMB: 1})
+	if n.Place.AZ != "az2" || n.Place.Node != "c1/n1" {
+		t.Errorf("place = %+v", n.Place)
+	}
+}

@@ -1,0 +1,88 @@
+package controlplane
+
+import (
+	"time"
+
+	"canalmesh/internal/cluster"
+	"canalmesh/internal/sim"
+)
+
+// AutoPush subscribes a controller to its cluster's API-server events and
+// pushes configuration automatically — the behaviour behind §2.1's "any
+// sidecar configuration change triggers a global pod update". Events inside
+// the debounce window coalesce into one push, which is how real controllers
+// survive Table 2's tens of updates per minute.
+type AutoPush struct {
+	sim      *sim.Sim
+	ctl      *Controller
+	debounce time.Duration
+
+	pendingPods   int
+	pendingRoutes bool
+	armed         bool
+	flushAt       time.Duration
+	pushCount     int
+	eventCount    int
+}
+
+// NewAutoPush wires the controller to the cluster's event stream. A zero
+// debounce pushes on every event.
+func NewAutoPush(s *sim.Sim, ctl *Controller, c *cluster.Cluster, debounce time.Duration) *AutoPush {
+	ap := &AutoPush{sim: s, ctl: ctl, debounce: debounce}
+	c.Watch(func(e cluster.Event) {
+		ap.eventCount++
+		switch e.Kind {
+		case cluster.EventPodAdded:
+			ap.pendingPods++
+		case cluster.EventPodRemoved, cluster.EventServiceAdded, cluster.EventRouteUpdated:
+			ap.pendingRoutes = true
+		}
+		ap.schedule()
+	})
+	return ap
+}
+
+// schedule arms (or re-arms) the debounce timer.
+func (ap *AutoPush) schedule() {
+	if ap.debounce <= 0 {
+		ap.flush()
+		return
+	}
+	ap.flushAt = ap.sim.Now() + ap.debounce
+	if ap.armed {
+		return
+	}
+	ap.armed = true
+	var wait func()
+	wait = func() {
+		now := ap.sim.Now()
+		if now < ap.flushAt {
+			ap.sim.At(ap.flushAt, wait)
+			return
+		}
+		ap.armed = false
+		ap.flush()
+	}
+	ap.sim.At(ap.flushAt, wait)
+}
+
+// flush performs the coalesced push.
+func (ap *AutoPush) flush() {
+	pods, routes := ap.pendingPods, ap.pendingRoutes
+	ap.pendingPods, ap.pendingRoutes = 0, false
+	if pods == 0 && !routes {
+		return
+	}
+	ap.pushCount++
+	if pods > 0 {
+		ap.ctl.PushPodCreation(pods)
+		return
+	}
+	ap.ctl.PushUpdate()
+}
+
+// Pushes returns how many coalesced pushes ran.
+func (ap *AutoPush) Pushes() int { return ap.pushCount }
+
+// Events returns how many raw API events arrived.
+func (ap *AutoPush) Events() int { return ap.eventCount }

@@ -1,0 +1,138 @@
+package controlplane
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"canalmesh/internal/cluster"
+	"canalmesh/internal/sim"
+)
+
+func autoPushRig(t *testing.T, debounce time.Duration) (*sim.Sim, *cluster.Cluster, *Controller, *AutoPush) {
+	t.Helper()
+	s := sim.New(1)
+	c := buildCluster(t, 2, 2, 5)
+	ctl := New(CanalModel, DefaultSizing(), c)
+	ap := NewAutoPush(s, ctl, c, debounce)
+	return s, c, ctl, ap
+}
+
+func TestAutoPushCoalescesBurst(t *testing.T) {
+	s, c, ctl, ap := autoPushRig(t, 2*time.Second)
+	node := c.Nodes()[0]
+	before := len(ctl.History())
+	s.At(0, func() {
+		// A burst of 10 pod creations within the debounce window.
+		for i := 0; i < 10; i++ {
+			if _, err := c.AddPod("svcaa", node, cluster.Resources{MilliCPU: 1, MemMB: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	s.Run()
+	if ap.Events() != 10 {
+		t.Errorf("events = %d, want 10", ap.Events())
+	}
+	if ap.Pushes() != 1 {
+		t.Errorf("pushes = %d, want 1 coalesced push", ap.Pushes())
+	}
+	hist := ctl.History()
+	if len(hist) != before+1 {
+		t.Fatalf("history = %d", len(hist))
+	}
+}
+
+func TestAutoPushSeparatedEventsPushSeparately(t *testing.T) {
+	s, c, _, ap := autoPushRig(t, time.Second)
+	node := c.Nodes()[0]
+	for i := 0; i < 3; i++ {
+		at := time.Duration(i) * 10 * time.Second
+		s.At(at, func() {
+			if _, err := c.AddPod("svcaa", node, cluster.Resources{MilliCPU: 1, MemMB: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	s.Run()
+	if ap.Pushes() != 3 {
+		t.Errorf("pushes = %d, want 3 (events outside the debounce window)", ap.Pushes())
+	}
+}
+
+func TestAutoPushRouteUpdate(t *testing.T) {
+	s, c, ctl, ap := autoPushRig(t, time.Second)
+	s.At(0, func() {
+		if err := c.UpdateRoutes("svcaa", 9); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s.Run()
+	if ap.Pushes() != 1 {
+		t.Fatalf("pushes = %d", ap.Pushes())
+	}
+	last := ctl.History()[len(ctl.History())-1]
+	if last.Bytes == 0 {
+		t.Error("route update should push bytes")
+	}
+}
+
+func TestAutoPushZeroDebouncePushesPerEvent(t *testing.T) {
+	s, c, _, ap := autoPushRig(t, 0)
+	node := c.Nodes()[0]
+	s.At(0, func() {
+		for i := 0; i < 4; i++ {
+			if _, err := c.AddPod("svcaa", node, cluster.Resources{MilliCPU: 1, MemMB: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	s.Run()
+	if ap.Pushes() != 4 {
+		t.Errorf("pushes = %d, want one per event", ap.Pushes())
+	}
+}
+
+func TestAutoPushDebounceExtendsOnActivity(t *testing.T) {
+	s, c, _, ap := autoPushRig(t, 2*time.Second)
+	node := c.Nodes()[0]
+	// Events at t=0, 1.5s, 3s: each re-arms the 2s window, so one push at 5s.
+	for i, at := range []time.Duration{0, 1500 * time.Millisecond, 3 * time.Second} {
+		i := i
+		s.At(at, func() {
+			if _, err := c.AddPod("svcaa", node, cluster.Resources{MilliCPU: 1, MemMB: 1}); err != nil {
+				t.Fatalf("pod %d: %v", i, err)
+			}
+		})
+	}
+	s.Run()
+	if ap.Pushes() != 1 {
+		t.Errorf("pushes = %d, want 1 (window keeps extending)", ap.Pushes())
+	}
+	if s.Now() < 5*time.Second {
+		t.Errorf("final flush at %v, want >= 5s", s.Now())
+	}
+}
+
+// TestAutoPushTable2Rates drives Table 2's update frequencies through the
+// debouncer and confirms the controller absorbs them.
+func TestAutoPushTable2Rates(t *testing.T) {
+	s, c, _, ap := autoPushRig(t, time.Second)
+	// ~55 updates/min for one simulated minute (the large-cluster row).
+	for i := 0; i < 55; i++ {
+		at := time.Duration(i) * (time.Minute / 55)
+		i := i
+		s.At(at, func() {
+			if err := c.UpdateRoutes(fmt.Sprintf("svc%s", string(rune('a'+i%2))+"a"), i); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	s.Run()
+	if ap.Events() != 55 {
+		t.Errorf("events = %d", ap.Events())
+	}
+	if ap.Pushes() == 0 || ap.Pushes() > 55 {
+		t.Errorf("pushes = %d, want coalesced below the event rate", ap.Pushes())
+	}
+}

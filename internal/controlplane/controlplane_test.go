@@ -1,0 +1,197 @@
+package controlplane
+
+import (
+	"testing"
+
+	"canalmesh/internal/cloud"
+	"canalmesh/internal/cluster"
+)
+
+// buildCluster creates a cluster with the given nodes, services and pods per
+// service.
+func buildCluster(t *testing.T, nodes, services, podsPerService int) *cluster.Cluster {
+	t.Helper()
+	tn, err := cloud.NewTenant("t1", "alpha", "10.0.0.0/8", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.New("c1", tn)
+	for i := 0; i < nodes; i++ {
+		c.AddNode(nodeName(i), "r1", "az1", cluster.Resources{MilliCPU: 1 << 30, MemMB: 1 << 30})
+	}
+	for i := 0; i < services; i++ {
+		name := svcName(i)
+		c.AddService(name, 80, 3)
+		if _, err := c.SpreadPods(name, podsPerService, cluster.Resources{MilliCPU: 100, MemMB: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func nodeName(i int) string { return "n" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) }
+func svcName(i int) string  { return "svc" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) }
+
+func controllers(t *testing.T, c *cluster.Cluster) (*Controller, *Controller, *Controller) {
+	t.Helper()
+	s := DefaultSizing()
+	return New(IstioModel, s, c), New(AmbientModel, s, c), New(CanalModel, s, c)
+}
+
+func TestTargetsOrdering(t *testing.T) {
+	// 2 worker nodes, 3 services, 30 pods: Istio configures 30 proxies,
+	// Ambient 5, Canal a constant handful — the §2.2 proxy-count argument.
+	c := buildCluster(t, 2, 3, 10)
+	istio, ambient, canal := controllers(t, c)
+	if got := istio.Targets(); got != 30 {
+		t.Errorf("istio targets = %d, want 30", got)
+	}
+	if got := ambient.Targets(); got != 5 {
+		t.Errorf("ambient targets = %d, want 5", got)
+	}
+	if got := canal.Targets(); got != 1 {
+		t.Errorf("canal targets = %d, want 1 (centralized gateway)", got)
+	}
+}
+
+func TestPushUpdateBandwidthOrdering(t *testing.T) {
+	// Fig 15: southbound bytes Istio > Ambient > Canal, with roughly the
+	// paper's ratios (9.8x and 4.6x at testbed scale).
+	c := buildCluster(t, 2, 3, 10)
+	istio, ambient, canal := controllers(t, c)
+	bi := istio.PushUpdate().Bytes
+	ba := ambient.PushUpdate().Bytes
+	bc := canal.PushUpdate().Bytes
+	if !(bc < ba && ba < bi) {
+		t.Fatalf("bandwidth ordering violated: istio=%d ambient=%d canal=%d", bi, ba, bc)
+	}
+	if ratio := float64(bi) / float64(bc); ratio < 4 {
+		t.Errorf("istio/canal ratio = %.1f, want >= 4 (paper: 9.8x)", ratio)
+	}
+	if ratio := float64(ba) / float64(bc); ratio < 1.5 {
+		t.Errorf("ambient/canal ratio = %.1f, want >= 1.5 (paper: 4.6x)", ratio)
+	}
+}
+
+func TestPushUpdateQuadraticForIstio(t *testing.T) {
+	// §2.1: doubling pods roughly quadruples Istio's update bytes (full
+	// configs to all pods, each config O(N)).
+	small := buildCluster(t, 2, 2, 10) // 20 pods
+	big := buildCluster(t, 2, 2, 20)   // 40 pods
+	s := DefaultSizing()
+	bSmall := New(IstioModel, s, small).PushUpdate().Bytes
+	bBig := New(IstioModel, s, big).PushUpdate().Bytes
+	ratio := float64(bBig) / float64(bSmall)
+	if ratio < 2.5 {
+		t.Errorf("doubling pods scaled bytes by %.2f, want quadratic-ish (>2.5)", ratio)
+	}
+}
+
+func TestCompletionTimeOrdering(t *testing.T) {
+	// Fig 14: configuration completion Canal < Ambient < Istio.
+	c := buildCluster(t, 2, 3, 50)
+	istio, ambient, canal := controllers(t, c)
+	ti := istio.PushPodCreation(100).Completion
+	ta := ambient.PushPodCreation(100).Completion
+	tc := canal.PushPodCreation(100).Completion
+	if !(tc < ta && ta < ti) {
+		t.Fatalf("completion ordering violated: istio=%v ambient=%v canal=%v", ti, ta, tc)
+	}
+	// The configuration share (excluding the architecture-independent pod
+	// startup time) must separate clearly.
+	startup := DefaultSizing().PodStartupTime
+	if ratio := float64(ti-startup) / float64(tc-startup); ratio < 1.5 {
+		t.Errorf("istio/canal config-completion ratio = %.2f, want >= 1.5", ratio)
+	}
+}
+
+func TestBuildCPUScalesWithClusterSize(t *testing.T) {
+	// Fig 4: controller build CPU grows with cluster size.
+	s := DefaultSizing()
+	small := New(IstioModel, s, buildCluster(t, 2, 2, 10))
+	big := New(IstioModel, s, buildCluster(t, 2, 2, 100))
+	if small.PushUpdate().BuildCPU >= big.PushUpdate().BuildCPU {
+		t.Error("build CPU should grow with cluster size")
+	}
+}
+
+func TestPushIsIOBoundNotCPUBound(t *testing.T) {
+	// Fig 4's second observation: completion grows faster than build CPU as
+	// clusters grow, because pushing is I/O-bound.
+	s := DefaultSizing()
+	small := New(IstioModel, s, buildCluster(t, 2, 2, 10)).PushUpdate()
+	big := New(IstioModel, s, buildCluster(t, 2, 2, 100)).PushUpdate()
+	completionGrowth := float64(big.Completion) / float64(small.Completion)
+	if completionGrowth < 5 {
+		t.Errorf("completion growth %.1f; larger clusters should take much longer to finish", completionGrowth)
+	}
+	if big.Completion <= big.BuildCPU {
+		t.Error("completion includes I/O and must exceed build CPU")
+	}
+}
+
+func TestCanalPodCreationTouchesNodeProxiesOnce(t *testing.T) {
+	c := buildCluster(t, 2, 3, 10)
+	s := DefaultSizing()
+	canal := New(CanalModel, s, c)
+	st := canal.PushPodCreation(100)
+	if st.Targets != 1+2 { // gateway + the cluster's two nodes
+		t.Errorf("targets = %d, want 3", st.Targets)
+	}
+	// Per-pod identity entries are minimal compared to the gateway config.
+	nodeShare := int64(100 * s.PerPodIdentityBytes)
+	if nodeShare*2 > st.Bytes {
+		t.Errorf("node-proxy share %d should be a minority of %d", nodeShare, st.Bytes)
+	}
+}
+
+func TestHistoryAndTotalBytes(t *testing.T) {
+	c := buildCluster(t, 2, 2, 5)
+	istio, _, _ := controllers(t, c)
+	istio.PushUpdate()
+	istio.PushPodCreation(5)
+	if got := len(istio.History()); got != 2 {
+		t.Errorf("history = %d", got)
+	}
+	var sum int64
+	for _, p := range istio.History() {
+		sum += p.Bytes
+	}
+	if istio.TotalBytes() != sum {
+		t.Error("TotalBytes mismatch")
+	}
+}
+
+func TestUpdateFrequencyGrowsWithServices(t *testing.T) {
+	// Table 2: 100-500 pods -> 1-5 updates/min; 1500-3000 pods -> 40-70.
+	// With ~2:1 pods:services, calibrate per-service rate ~0.02/min.
+	small := UpdateFrequency(150, 0.02) // ~300 pods
+	large := UpdateFrequency(1250, 0.04)
+	if small < 1 || small > 5 {
+		t.Errorf("small cluster frequency = %.1f, want 1-5", small)
+	}
+	if large < 40 || large > 70 {
+		t.Errorf("large cluster frequency = %.1f, want 40-70", large)
+	}
+}
+
+func TestSidecarResources(t *testing.T) {
+	// Table 1 headline row: 15k pods, 100m CPU + ~340MB each gives the
+	// ~1500 cores / ~5000GB the paper reports.
+	r := SidecarResources(15000, cluster.Resources{MilliCPU: 100, MemMB: 340})
+	if r.MilliCPU != 1_500_000 {
+		t.Errorf("CPU = %dm, want 1.5M millicores (1500 cores)", r.MilliCPU)
+	}
+	if r.MemMB != 5_100_000 {
+		t.Errorf("Mem = %dMB", r.MemMB)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if IstioModel.String() != "istio" || AmbientModel.String() != "ambient" || CanalModel.String() != "canal" {
+		t.Error("model names")
+	}
+	if Model(9).String() == "" {
+		t.Error("unknown model should stringify")
+	}
+}

@@ -1,0 +1,203 @@
+package keyserver
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/gob"
+	"fmt"
+
+	"canalmesh/internal/meshcrypto"
+)
+
+// Channel is a pre-established encrypted channel between one requester and
+// the key server. The paper uses such channels so that per-handshake
+// requests avoid a fresh TLS negotiation with the key server (§4.1.3); here
+// the channel is AES-256-GCM under a provisioning-time shared key with
+// explicit random nonces.
+type Channel struct {
+	requester string
+	aead      cipher.AEAD
+}
+
+// newChannel builds a channel from a 32-byte shared key.
+func newChannel(requester string, key []byte) (*Channel, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("keyserver: channel key: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Channel{requester: requester, aead: aead}, nil
+}
+
+// Establish provisions a channel for a requester (an on-node proxy or a
+// gateway replica) and returns the requester-side endpoint. This is the act
+// that "verifies" the requester: only holders of an established channel can
+// reach key material.
+func (s *Server) Establish(requester string) (*Channel, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	ch, err := newChannel(requester, key)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.channels[requester] = ch
+	s.mu.Unlock()
+	// The requester gets its own endpoint over the same key.
+	return newChannel(requester, key)
+}
+
+// Revoke tears down a requester's channel.
+func (s *Server) Revoke(requester string) {
+	s.mu.Lock()
+	delete(s.channels, requester)
+	s.mu.Unlock()
+}
+
+// seal encrypts a payload with a random nonce prefix.
+func (c *Channel) seal(plaintext []byte) ([]byte, error) {
+	nonce := make([]byte, c.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, c.aead.Seal(nil, nonce, plaintext, []byte(c.requester))...), nil
+}
+
+// open decrypts a sealed payload.
+func (c *Channel) open(sealed []byte) ([]byte, error) {
+	ns := c.aead.NonceSize()
+	if len(sealed) < ns {
+		return nil, fmt.Errorf("keyserver: sealed payload too short")
+	}
+	pt, err := c.aead.Open(nil, sealed[:ns], sealed[ns:], []byte(c.requester))
+	if err != nil {
+		return nil, fmt.Errorf("keyserver: channel authentication failed: %w", err)
+	}
+	return pt, nil
+}
+
+// request is the wire form of one asymmetric-phase RPC.
+type request struct {
+	Identity   string
+	Role       meshcrypto.Role
+	Prefix     []byte
+	EphPriv    []byte
+	PeerEphPub []byte
+	NonceC     []byte
+	NonceS     []byte
+}
+
+// response is the wire form of the RPC result.
+type response struct {
+	Err    string
+	Result *meshcrypto.AsymResult
+}
+
+// Handle processes one sealed RPC from the named requester and returns the
+// sealed response. It is the server's network entry point.
+func (s *Server) Handle(requester string, sealedReq []byte) ([]byte, error) {
+	s.mu.Lock()
+	ch := s.channels[requester]
+	s.mu.Unlock()
+	if ch == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnverifiedRequester, requester)
+	}
+	plain, err := ch.open(sealedReq)
+	if err != nil {
+		return nil, err
+	}
+	var req request
+	if err := gob.NewDecoder(bytes.NewReader(plain)).Decode(&req); err != nil {
+		return nil, fmt.Errorf("keyserver: decoding request: %w", err)
+	}
+	var resp response
+	res, err := s.complete(req.Identity, req.Role, req.Prefix, req.EphPriv, req.PeerEphPub, req.NonceC, req.NonceS)
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.Result = res
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&resp); err != nil {
+		return nil, err
+	}
+	return ch.seal(buf.Bytes())
+}
+
+// RemoteKeyOps implements meshcrypto.KeyOps by shipping the asymmetric phase
+// to a key server over the requester's established channel. Transport is a
+// function so the simulator, an in-process server, and a real network server
+// can all back it.
+type RemoteKeyOps struct {
+	Requester string
+	Chan      *Channel
+	// Transport delivers a sealed request and returns the sealed response.
+	Transport func(requester string, sealedReq []byte) ([]byte, error)
+}
+
+// NewRemoteKeyOps wires a requester channel directly to an in-process
+// server.
+func NewRemoteKeyOps(requester string, ch *Channel, srv *Server) *RemoteKeyOps {
+	return &RemoteKeyOps{Requester: requester, Chan: ch, Transport: srv.Handle}
+}
+
+// Complete implements meshcrypto.KeyOps.
+func (r *RemoteKeyOps) Complete(identity string, role meshcrypto.Role, prefix, ephPriv, peerEphPub, nonceC, nonceS []byte) (*meshcrypto.AsymResult, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&request{
+		Identity: identity, Role: role, Prefix: prefix,
+		EphPriv: ephPriv, PeerEphPub: peerEphPub, NonceC: nonceC, NonceS: nonceS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := r.Chan.seal(buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	sealedResp, err := r.Transport(r.Requester, sealed)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := r.Chan.open(sealedResp)
+	if err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := gob.NewDecoder(bytes.NewReader(plain)).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("keyserver: remote: %s", resp.Err)
+	}
+	return resp.Result, nil
+}
+
+// FallbackKeyOps tries the primary ops and falls back to the secondary on
+// error — Canal's behaviour when the local-AZ key server fails or the AZ
+// lacks accelerator-capable CPUs (Appendix A).
+type FallbackKeyOps struct {
+	Primary   meshcrypto.KeyOps
+	Secondary meshcrypto.KeyOps
+	fallbacks uint64
+}
+
+// Complete implements meshcrypto.KeyOps.
+func (f *FallbackKeyOps) Complete(identity string, role meshcrypto.Role, prefix, ephPriv, peerEphPub, nonceC, nonceS []byte) (*meshcrypto.AsymResult, error) {
+	res, err := f.Primary.Complete(identity, role, prefix, ephPriv, peerEphPub, nonceC, nonceS)
+	if err == nil {
+		return res, nil
+	}
+	f.fallbacks++
+	return f.Secondary.Complete(identity, role, prefix, ephPriv, peerEphPub, nonceC, nonceS)
+}
+
+// Fallbacks returns how many operations fell back to the secondary.
+func (f *FallbackKeyOps) Fallbacks() uint64 { return f.fallbacks }

@@ -1,0 +1,152 @@
+// Package keyserver implements Canal's dedicated key server for remote mTLS
+// acceleration (§4.1.3): tenants' identity private keys are held encrypted
+// in memory only, asymmetric handshake operations arrive as RPCs over
+// pre-established encrypted channels, and the derived symmetric keys are
+// returned to the requester. The package also models the AVX-512/QAT batch
+// processing discipline whose bubble effect the paper analyses (Fig. 25),
+// and provides the local-CPU fallback used in AZs without accelerators.
+package keyserver
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sync"
+
+	"canalmesh/internal/meshcrypto"
+)
+
+// ErrUnknownIdentity is returned for operations on identities whose keys
+// were never entrusted to the server.
+var ErrUnknownIdentity = errors.New("keyserver: no key stored for identity")
+
+// ErrUnverifiedRequester is returned when a request arrives from a channel
+// the server has not established.
+var ErrUnverifiedRequester = errors.New("keyserver: unverified requester")
+
+// Server is a multi-tenant key server. Private keys are stored AES-GCM
+// encrypted under a per-process master key that exists only in memory, so a
+// physically stolen machine or a restart yields nothing (§4.1.3).
+type Server struct {
+	name string
+
+	mu       sync.Mutex
+	aead     cipher.AEAD
+	keys     map[string]sealedKey // identity -> encrypted private key
+	channels map[string]*Channel  // requester -> established channel
+	ops      uint64               // completed asymmetric operations
+}
+
+type sealedKey struct {
+	nonce []byte
+	ct    []byte
+}
+
+// NewServer creates a key server with a fresh random master key.
+func NewServer(name string) (*Server, error) {
+	master := make([]byte, 32)
+	if _, err := rand.Read(master); err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(master)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		name:     name,
+		aead:     aead,
+		keys:     make(map[string]sealedKey),
+		channels: make(map[string]*Channel),
+	}, nil
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.name }
+
+// Entrust stores an identity's private key, encrypted at rest in memory.
+func (s *Server) Entrust(id *meshcrypto.Identity) error {
+	der, err := x509.MarshalECPrivateKey(id.Key)
+	if err != nil {
+		return fmt.Errorf("keyserver: marshaling key for %s: %w", id.ID, err)
+	}
+	nonce := make([]byte, s.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.keys[id.ID] = sealedKey{nonce: nonce, ct: s.aead.Seal(nil, nonce, der, []byte(id.ID))}
+	s.mu.Unlock()
+	return nil
+}
+
+// Forget erases an identity's key (tenant offboarding).
+func (s *Server) Forget(identity string) {
+	s.mu.Lock()
+	delete(s.keys, identity)
+	s.mu.Unlock()
+}
+
+// Holds reports whether a key is stored for the identity.
+func (s *Server) Holds(identity string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.keys[identity]
+	return ok
+}
+
+// Operations returns the number of completed asymmetric operations.
+func (s *Server) Operations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+// complete decrypts the stored key just-in-time, performs the asymmetric
+// phase, and discards the plaintext key, never retaining it (§4.1.3).
+func (s *Server) complete(identity string, role meshcrypto.Role, prefix, ephPriv, peerEphPub, nonceC, nonceS []byte) (*meshcrypto.AsymResult, error) {
+	s.mu.Lock()
+	sealed, ok := s.keys[identity]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownIdentity, identity)
+	}
+	der, err := s.aead.Open(nil, sealed.nonce, sealed.ct, []byte(identity))
+	if err != nil {
+		return nil, fmt.Errorf("keyserver: unsealing key for %s: %w", identity, err)
+	}
+	key, err := x509.ParseECPrivateKey(der)
+	if err != nil {
+		return nil, err
+	}
+	res, err := meshcrypto.CompleteWithKey(key, role, prefix, ephPriv, peerEphPub, nonceC, nonceS)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ops++
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Restart simulates a server restart: the master key and all sealed keys are
+// flushed, so previously entrusted keys are unrecoverable and must be
+// re-entrusted by the control plane.
+func (s *Server) Restart() error {
+	fresh, err := NewServer(s.name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.aead = fresh.aead
+	s.keys = make(map[string]sealedKey)
+	s.channels = make(map[string]*Channel)
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,203 @@
+package keyserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire format of the key-server RPC, exercised over real TCP by the
+// examples and tests: each frame is a 4-byte big-endian length followed by
+// the payload. A request payload is a 2-byte requester-name length, the
+// requester name, and the channel-sealed request; a response payload is one
+// status byte (0 = sealed response follows, 1 = error text follows).
+const (
+	// MaxFrame bounds a frame to keep a misbehaving peer from ballooning
+	// memory; handshake payloads are well under this.
+	MaxFrame = 1 << 20
+	// ioTimeout bounds each read/write on a connection.
+	ioTimeout = 10 * time.Second
+)
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("keyserver: frame exceeds maximum size")
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// encodeRequest frames requester + sealed bytes.
+func encodeRequest(requester string, sealed []byte) ([]byte, error) {
+	if len(requester) > 0xFFFF {
+		return nil, fmt.Errorf("keyserver: requester name too long")
+	}
+	out := make([]byte, 0, 2+len(requester)+len(sealed))
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(requester)))
+	out = append(out, l[:]...)
+	out = append(out, requester...)
+	return append(out, sealed...), nil
+}
+
+// decodeRequest splits a framed request.
+func decodeRequest(payload []byte) (string, []byte, error) {
+	if len(payload) < 2 {
+		return "", nil, fmt.Errorf("keyserver: truncated request frame")
+	}
+	n := int(binary.BigEndian.Uint16(payload[:2]))
+	if len(payload) < 2+n {
+		return "", nil, fmt.Errorf("keyserver: truncated requester name")
+	}
+	return string(payload[2 : 2+n]), payload[2+n:], nil
+}
+
+// ServeTCP accepts key-server RPC connections on ln until the listener is
+// closed, handling any number of sequential requests per connection. It
+// returns the first accept error (net.ErrClosed on clean shutdown).
+func (s *Server) ServeTCP(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(ioTimeout))
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF, timeout, or oversized frame: drop the connection
+		}
+		requester, sealed, err := decodeRequest(payload)
+		var resp []byte
+		if err == nil {
+			resp, err = s.Handle(requester, sealed)
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(ioTimeout))
+		if err != nil {
+			if werr := writeFrame(conn, append([]byte{1}, []byte(err.Error())...)); werr != nil {
+				return
+			}
+			continue
+		}
+		if werr := writeFrame(conn, append([]byte{0}, resp...)); werr != nil {
+			return
+		}
+	}
+}
+
+// TCPTransport is a client-side transport for RemoteKeyOps over one
+// persistent TCP connection, safe for concurrent use (requests serialize on
+// the connection, matching the sequential frame protocol).
+type TCPTransport struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewTCPTransport returns a lazy-dialing transport to addr.
+func NewTCPTransport(addr string) *TCPTransport { return &TCPTransport{addr: addr} }
+
+// Close tears down the connection.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil {
+		err := t.conn.Close()
+		t.conn = nil
+		return err
+	}
+	return nil
+}
+
+// RoundTrip implements the RemoteKeyOps Transport signature over TCP.
+func (t *TCPTransport) RoundTrip(requester string, sealedReq []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	payload, err := encodeRequest(requester, sealedReq)
+	if err != nil {
+		return nil, err
+	}
+	// One reconnect attempt on a broken persistent connection.
+	for attempt := 0; attempt < 2; attempt++ {
+		if t.conn == nil {
+			conn, err := net.DialTimeout("tcp", t.addr, ioTimeout)
+			if err != nil {
+				return nil, fmt.Errorf("keyserver: dialing %s: %w", t.addr, err)
+			}
+			t.conn = conn
+		}
+		resp, err := t.exchange(payload)
+		if err != nil {
+			t.conn.Close()
+			t.conn = nil
+			if attempt == 0 {
+				continue
+			}
+			return nil, err
+		}
+		return resp, nil
+	}
+	panic("unreachable")
+}
+
+func (t *TCPTransport) exchange(payload []byte) ([]byte, error) {
+	_ = t.conn.SetWriteDeadline(time.Now().Add(ioTimeout))
+	if err := writeFrame(t.conn, payload); err != nil {
+		return nil, err
+	}
+	_ = t.conn.SetReadDeadline(time.Now().Add(ioTimeout))
+	resp, err := readFrame(t.conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("keyserver: empty response frame")
+	}
+	if resp[0] != 0 {
+		return nil, fmt.Errorf("keyserver: remote: %s", resp[1:])
+	}
+	return resp[1:], nil
+}
+
+// NewTCPKeyOps wires a requester channel to a key server reachable at addr.
+func NewTCPKeyOps(requester string, ch *Channel, addr string) (*RemoteKeyOps, *TCPTransport) {
+	tr := NewTCPTransport(addr)
+	return &RemoteKeyOps{Requester: requester, Chan: ch, Transport: tr.RoundTrip}, tr
+}

@@ -1,0 +1,244 @@
+package keyserver
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"canalmesh/internal/meshcrypto"
+)
+
+// startTCPServer runs a key server on an ephemeral port.
+func startTCPServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeTCP(ln)
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+func TestHandshakeOverTCP(t *testing.T) {
+	ca, client, server, srv := testSetup(t)
+	if err := srv.Entrust(client); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Entrust(server); err != nil {
+		t.Fatal(err)
+	}
+	addr := startTCPServer(t, srv)
+
+	chC, err := srv.Establish("node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chS, err := srv.Establish("replica-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsC, trC := NewTCPKeyOps("node-1", chC, addr)
+	defer trC.Close()
+	opsS, trS := NewTCPKeyOps("replica-1", chS, addr)
+	defer trS.Close()
+
+	hello, off, err := meshcrypto.Offer(client.ID, client.CertDER, ca, opsC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, acc, err := meshcrypto.Accept(server.ID, server.CertDER, ca, opsS, hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, fin, _, err := off.Finish(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.VerifyFinished(fin); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("over real TCP")
+	pt, err := acc.Session.Open(cs.Seal(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Error("round trip corrupted")
+	}
+	if srv.Operations() != 2 {
+		t.Errorf("ops = %d, want 2", srv.Operations())
+	}
+}
+
+func TestTCPErrorPropagation(t *testing.T) {
+	ca, client, _, srv := testSetup(t)
+	// Key NOT entrusted: the remote error must arrive as an error frame.
+	addr := startTCPServer(t, srv)
+	ch, err := srv.Establish("node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, tr := NewTCPKeyOps("node-1", ch, addr)
+	defer tr.Close()
+	hello, _, err := meshcrypto.Offer(client.ID, client.CertDER, ca, meshcrypto.NewLocalKeyOps(client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = meshcrypto.Accept(client.ID, client.CertDER, ca, ops, hello)
+	if err == nil || !strings.Contains(err.Error(), "no key stored") {
+		t.Errorf("err = %v, want remote unknown-identity error", err)
+	}
+}
+
+func TestTCPUnverifiedRequester(t *testing.T) {
+	_, client, _, srv := testSetup(t)
+	if err := srv.Entrust(client); err != nil {
+		t.Fatal(err)
+	}
+	addr := startTCPServer(t, srv)
+	// A channel established with a DIFFERENT server: the sealed request
+	// fails authentication at this one.
+	other, err := NewServer("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := other.Establish("node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, tr := NewTCPKeyOps("node-1", ch, addr)
+	defer tr.Close()
+	_, err = ops.Complete(client.ID, meshcrypto.RoleServer, []byte("p"), nil, make([]byte, 32), nil, nil)
+	if err == nil {
+		t.Error("foreign channel must be rejected")
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	ca, client, server, srv := testSetup(t)
+	if err := srv.Entrust(client); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Entrust(server); err != nil {
+		t.Fatal(err)
+	}
+	addr := startTCPServer(t, srv)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			ch, err := srv.Establish(name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			ops, tr := NewTCPKeyOps(name, ch, addr)
+			defer tr.Close()
+			for j := 0; j < 5; j++ {
+				hello, off, err := meshcrypto.Offer(client.ID, client.CertDER, ca, meshcrypto.NewLocalKeyOps(client))
+				if err != nil {
+					errs <- err
+					return
+				}
+				sh, _, err := meshcrypto.Accept(server.ID, server.CertDER, ca, ops, hello)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, _, _, err := off.Finish(sh); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if srv.Operations() != 40 {
+		t.Errorf("ops = %d, want 40", srv.Operations())
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("round trip: %q %v", got, err)
+	}
+	// Oversized write rejected.
+	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+	// Oversized advertised length rejected on read.
+	var evil bytes.Buffer
+	evil.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&evil); err != ErrFrameTooLarge {
+		t.Errorf("read err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestRequestCodec(t *testing.T) {
+	enc, err := encodeRequest("node-1", []byte("sealed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, sealed, err := decodeRequest(enc)
+	if err != nil || name != "node-1" || string(sealed) != "sealed" {
+		t.Fatalf("decode: %q %q %v", name, sealed, err)
+	}
+	if _, _, err := decodeRequest([]byte{0}); err == nil {
+		t.Error("truncated frame should fail")
+	}
+	if _, _, err := decodeRequest([]byte{0, 9, 'x'}); err == nil {
+		t.Error("truncated name should fail")
+	}
+}
+
+func TestTransportReconnects(t *testing.T) {
+	_, client, _, srv := testSetup(t)
+	if err := srv.Entrust(client); err != nil {
+		t.Fatal(err)
+	}
+	addr := startTCPServer(t, srv)
+	ch, err := srv.Establish("node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, tr := NewTCPKeyOps("node-1", ch, addr)
+	defer tr.Close()
+	do := func() error {
+		_, err := ops.Complete(client.ID, meshcrypto.RoleServer, []byte("p"), nil, mustEphPub(t), nil, nil)
+		return err
+	}
+	if err := do(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the persistent connection server-side-agnostically: close ours.
+	tr.Close()
+	if err := do(); err != nil {
+		t.Fatalf("transport should redial: %v", err)
+	}
+}
+
+// mustEphPub generates a valid X25519 public share for direct Complete calls.
+func mustEphPub(t *testing.T) []byte {
+	t.Helper()
+	hello, _, err := meshcrypto.Offer("x", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hello.EphPubC
+}

@@ -1,0 +1,51 @@
+package l7
+
+// AuthzAction is the effect of an authorization rule.
+type AuthzAction int
+
+const (
+	// AuthzAllow admits matching traffic.
+	AuthzAllow AuthzAction = iota
+	// AuthzDeny rejects matching traffic.
+	AuthzDeny
+)
+
+// AuthzRule is one zero-trust authorization rule on a destination service.
+// Zero-value matchers match anything.
+type AuthzRule struct {
+	Name          string
+	Action        AuthzAction
+	SourceService StringMatch
+	Method        StringMatch
+	Path          StringMatch
+}
+
+func (a AuthzRule) matches(r *Request) bool {
+	return a.SourceService.Matches(r.SourceService) &&
+		a.Method.Matches(r.Method) &&
+		a.Path.Matches(r.Path)
+}
+
+// Authorize evaluates rules with Istio-like semantics: any matching DENY
+// rejects; otherwise, if no ALLOW rules exist the request is admitted; if
+// ALLOW rules exist, at least one must match.
+func Authorize(rules []AuthzRule, r *Request) (bool, string) {
+	hasAllow := false
+	for _, rule := range rules {
+		if rule.Action == AuthzDeny && rule.matches(r) {
+			return false, "denied by rule " + rule.Name
+		}
+		if rule.Action == AuthzAllow {
+			hasAllow = true
+		}
+	}
+	if !hasAllow {
+		return true, ""
+	}
+	for _, rule := range rules {
+		if rule.Action == AuthzAllow && rule.matches(r) {
+			return true, ""
+		}
+	}
+	return false, "no allow rule matched"
+}

@@ -1,0 +1,258 @@
+package l7
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Split is one arm of a weighted traffic split: a destination subset name
+// (e.g. "v1", "v2", "canary") and its relative weight.
+type Split struct {
+	Subset string
+	Weight int
+}
+
+// RateLimitSpec configures per-rule rate limiting.
+type RateLimitSpec struct {
+	RPS   float64
+	Burst float64
+}
+
+// FaultSpec injects faults for testing-in-production: a percentage of
+// matching requests is aborted with a fixed status, and/or delayed.
+type FaultSpec struct {
+	AbortPercent float64 // 0-100
+	AbortStatus  int     // status returned on aborted requests
+	DelayPercent float64 // 0-100
+	Delay        time.Duration
+}
+
+// Rule is one route rule for a destination service. Rules are evaluated in
+// order; the first match wins.
+type Rule struct {
+	Name        string
+	Match       RouteMatch
+	Splits      []Split // empty means route to the default subset
+	PathRewrite string
+	RateLimit   *RateLimitSpec
+	Retry       RetryPolicy
+	MirrorTo    string
+	Fault       *FaultSpec
+	// Timeout bounds the upstream round trip; zero means no limit.
+	Timeout time.Duration
+	// SetHeaders adds/overrides request headers toward the upstream.
+	SetHeaders map[string]string
+	// RemoveHeaders strips request headers before forwarding.
+	RemoveHeaders []string
+}
+
+// ServiceConfig is the full L7 configuration of one destination service.
+type ServiceConfig struct {
+	Service       string
+	DefaultSubset string
+	Rules         []Rule
+	Authz         []AuthzRule
+	// ServiceRateLimit applies before any rule (tenant-level quota).
+	ServiceRateLimit *RateLimitSpec
+}
+
+// NumRules returns the total rule count (routing + authz), the quantity
+// control planes use to size configuration pushes.
+func (c *ServiceConfig) NumRules() int { return len(c.Rules) + len(c.Authz) }
+
+// Engine routes requests for a set of services. It is safe for concurrent
+// use by the real gateway; the simulator calls it single-threaded.
+type Engine struct {
+	mu       sync.RWMutex
+	services map[string]*serviceState
+	rng      *rand.Rand
+}
+
+type serviceState struct {
+	cfg          ServiceConfig
+	ruleLimiters map[string]*TokenBucket
+	svcLimiter   *TokenBucket
+}
+
+// NewEngine returns an engine whose traffic splits draw from the given seed,
+// keeping simulated experiments deterministic.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		services: make(map[string]*serviceState),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Configure installs (or replaces) a service's configuration.
+func (e *Engine) Configure(cfg ServiceConfig) error {
+	if cfg.Service == "" {
+		return fmt.Errorf("l7: service name required")
+	}
+	for _, r := range cfg.Rules {
+		total := 0
+		for _, s := range r.Splits {
+			if s.Weight < 0 {
+				return fmt.Errorf("l7: rule %s: negative weight", r.Name)
+			}
+			total += s.Weight
+		}
+		if len(r.Splits) > 0 && total == 0 {
+			return fmt.Errorf("l7: rule %s: splits sum to zero", r.Name)
+		}
+	}
+	st := &serviceState{cfg: cfg, ruleLimiters: make(map[string]*TokenBucket)}
+	for _, r := range cfg.Rules {
+		if r.RateLimit != nil {
+			st.ruleLimiters[r.Name] = NewTokenBucket(r.RateLimit.RPS, r.RateLimit.Burst)
+		}
+	}
+	if cfg.ServiceRateLimit != nil {
+		st.svcLimiter = NewTokenBucket(cfg.ServiceRateLimit.RPS, cfg.ServiceRateLimit.Burst)
+	}
+	e.mu.Lock()
+	e.services[cfg.Service] = st
+	e.mu.Unlock()
+	return nil
+}
+
+// Remove deletes a service's configuration.
+func (e *Engine) Remove(service string) {
+	e.mu.Lock()
+	delete(e.services, service)
+	e.mu.Unlock()
+}
+
+// Services returns configured service names, sorted.
+func (e *Engine) Services() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.services))
+	for s := range e.services {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config returns the installed configuration for a service.
+func (e *Engine) Config(service string) (ServiceConfig, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st, ok := e.services[service]
+	if !ok {
+		return ServiceConfig{}, false
+	}
+	return st.cfg, true
+}
+
+// Route routes one request at virtual time now. A nil error with
+// Decision.Allowed=false never happens: routing failures are expressed as
+// *DecisionError with the local status to return.
+func (e *Engine) Route(now time.Duration, r *Request) (Decision, error) {
+	e.mu.RLock()
+	st, ok := e.services[r.Service]
+	e.mu.RUnlock()
+	if !ok {
+		return Decision{}, &DecisionError{Status: StatusUnavailable, Reason: "no route configuration for service " + r.Service}
+	}
+
+	if allowed, reason := Authorize(st.cfg.Authz, r); !allowed {
+		return Decision{DenyReason: reason}, &DecisionError{Status: StatusForbidden, Reason: reason}
+	}
+
+	if st.svcLimiter != nil && !st.svcLimiter.Allow(now) {
+		return Decision{RateLimited: true}, &DecisionError{Status: StatusTooManyRequests, Reason: "service rate limit"}
+	}
+
+	d := Decision{Allowed: true, Subset: st.cfg.DefaultSubset}
+	for i := range st.cfg.Rules {
+		rule := &st.cfg.Rules[i]
+		if !rule.Match.Matches(r) {
+			continue
+		}
+		if lim := st.ruleLimiters[rule.Name]; lim != nil && !lim.Allow(now) {
+			return Decision{RateLimited: true, Rule: rule.Name},
+				&DecisionError{Status: StatusTooManyRequests, Reason: "rule rate limit: " + rule.Name}
+		}
+		d.Rule = rule.Name
+		d.PathRewrite = rule.PathRewrite
+		d.Retry = rule.Retry
+		d.MirrorTo = rule.MirrorTo
+		d.Timeout = rule.Timeout
+		d.SetHeaders = rule.SetHeaders
+		d.RemoveHeaders = rule.RemoveHeaders
+		if f := rule.Fault; f != nil {
+			if f.AbortPercent > 0 && e.roll() < f.AbortPercent {
+				status := f.AbortStatus
+				if status == 0 {
+					status = StatusUnavailable
+				}
+				return Decision{Rule: rule.Name},
+					&DecisionError{Status: status, Reason: "fault injection: abort by rule " + rule.Name}
+			}
+			if f.DelayPercent > 0 && e.roll() < f.DelayPercent {
+				d.Delay = f.Delay
+			}
+		}
+		if len(rule.Splits) > 0 {
+			d.Subset = e.pickSplit(rule.Splits)
+		}
+		return d, nil
+	}
+	return d, nil
+}
+
+// roll draws a percentage in [0, 100).
+func (e *Engine) roll() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rng.Float64() * 100
+}
+
+// pickSplit draws a subset proportionally to the split weights.
+func (e *Engine) pickSplit(splits []Split) string {
+	total := 0
+	for _, s := range splits {
+		total += s.Weight
+	}
+	e.mu.Lock()
+	n := e.rng.Intn(total)
+	e.mu.Unlock()
+	for _, s := range splits {
+		if n < s.Weight {
+			return s.Subset
+		}
+		n -= s.Weight
+	}
+	return splits[len(splits)-1].Subset
+}
+
+// SetServiceRate installs or adjusts a service-level throttle at runtime —
+// the mechanism the gateway's rapid-intervention throttling uses (§6.2).
+func (e *Engine) SetServiceRate(service string, rps, burst float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.services[service]
+	if !ok {
+		return fmt.Errorf("l7: unknown service %q", service)
+	}
+	if st.svcLimiter == nil {
+		st.svcLimiter = NewTokenBucket(rps, burst)
+	} else {
+		st.svcLimiter.SetRate(rps)
+	}
+	return nil
+}
+
+// ClearServiceRate removes a service-level throttle.
+func (e *Engine) ClearServiceRate(service string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.services[service]; ok {
+		st.svcLimiter = nil
+		st.cfg.ServiceRateLimit = nil
+	}
+}

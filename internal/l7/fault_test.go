@@ -1,0 +1,102 @@
+package l7
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFaultAbortPercentage(t *testing.T) {
+	e := newTestEngine(t, ServiceConfig{
+		Service: "web", DefaultSubset: "v1",
+		Rules: []Rule{{
+			Name:  "chaos",
+			Fault: &FaultSpec{AbortPercent: 25, AbortStatus: StatusUnavailable},
+		}},
+	})
+	aborted := 0
+	const n = 8000
+	for i := 0; i < n; i++ {
+		if _, err := e.Route(0, req("web", "GET", "/")); err != nil {
+			var de *DecisionError
+			if !errors.As(err, &de) || de.Status != StatusUnavailable {
+				t.Fatalf("unexpected error %v", err)
+			}
+			aborted++
+		}
+	}
+	frac := float64(aborted) / n
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Errorf("abort fraction = %.3f, want ~0.25", frac)
+	}
+}
+
+func TestFaultAbortDefaultStatus(t *testing.T) {
+	e := newTestEngine(t, ServiceConfig{
+		Service: "web", DefaultSubset: "v1",
+		Rules: []Rule{{Name: "chaos", Fault: &FaultSpec{AbortPercent: 100}}},
+	})
+	_, err := e.Route(0, req("web", "GET", "/"))
+	var de *DecisionError
+	if !errors.As(err, &de) || de.Status != StatusUnavailable {
+		t.Errorf("default abort status should be 503: %v", err)
+	}
+}
+
+func TestFaultDelayInjection(t *testing.T) {
+	e := newTestEngine(t, ServiceConfig{
+		Service: "web", DefaultSubset: "v1",
+		Rules: []Rule{{
+			Name:  "slow",
+			Fault: &FaultSpec{DelayPercent: 50, Delay: 75 * time.Millisecond},
+		}},
+	})
+	delayed := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		d, err := e.Route(0, req("web", "GET", "/"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Delay == 75*time.Millisecond {
+			delayed++
+		} else if d.Delay != 0 {
+			t.Fatalf("unexpected delay %v", d.Delay)
+		}
+	}
+	frac := float64(delayed) / n
+	if math.Abs(frac-0.50) > 0.04 {
+		t.Errorf("delay fraction = %.3f, want ~0.50", frac)
+	}
+}
+
+func TestRuleTimeoutPropagates(t *testing.T) {
+	e := newTestEngine(t, ServiceConfig{
+		Service: "web", DefaultSubset: "v1",
+		Rules: []Rule{{
+			Name:    "bounded",
+			Timeout: 250 * time.Millisecond,
+		}},
+	})
+	d, err := e.Route(0, req("web", "GET", "/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Timeout != 250*time.Millisecond {
+		t.Errorf("Timeout = %v", d.Timeout)
+	}
+}
+
+func TestNoFaultByDefault(t *testing.T) {
+	e := newTestEngine(t, ServiceConfig{Service: "web", DefaultSubset: "v1"})
+	for i := 0; i < 100; i++ {
+		d, err := e.Route(0, req("web", "GET", "/"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Delay != 0 || d.Timeout != 0 {
+			t.Fatal("zero-value rules must not inject anything")
+		}
+	}
+}

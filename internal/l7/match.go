@@ -1,0 +1,106 @@
+package l7
+
+import (
+	"regexp"
+	"strings"
+)
+
+// MatchKind selects how a StringMatch compares values.
+type MatchKind int
+
+const (
+	// MatchAny matches everything, including the empty string.
+	MatchAny MatchKind = iota
+	// MatchExact compares for equality.
+	MatchExact
+	// MatchPrefix tests for a leading substring.
+	MatchPrefix
+	// MatchRegex applies a compiled regular expression.
+	MatchRegex
+	// MatchPresent matches any non-empty value (for headers/cookies).
+	MatchPresent
+)
+
+// StringMatch matches a single string value.
+type StringMatch struct {
+	Kind  MatchKind
+	Value string
+	re    *regexp.Regexp
+}
+
+// Exact returns an equality matcher.
+func Exact(v string) StringMatch { return StringMatch{Kind: MatchExact, Value: v} }
+
+// Prefix returns a prefix matcher.
+func Prefix(v string) StringMatch { return StringMatch{Kind: MatchPrefix, Value: v} }
+
+// Regex returns a regular-expression matcher. It panics on an invalid
+// pattern, since route tables are authored by the operator, not derived from
+// traffic.
+func Regex(pattern string) StringMatch {
+	return StringMatch{Kind: MatchRegex, Value: pattern, re: regexp.MustCompile(pattern)}
+}
+
+// Present returns a matcher for any non-empty value.
+func Present() StringMatch { return StringMatch{Kind: MatchPresent} }
+
+// Any returns a matcher that always matches.
+func Any() StringMatch { return StringMatch{Kind: MatchAny} }
+
+// Matches reports whether the matcher accepts v.
+func (m StringMatch) Matches(v string) bool {
+	switch m.Kind {
+	case MatchAny:
+		return true
+	case MatchExact:
+		return v == m.Value
+	case MatchPrefix:
+		return strings.HasPrefix(v, m.Value)
+	case MatchRegex:
+		if m.re == nil {
+			m.re = regexp.MustCompile(m.Value)
+		}
+		return m.re.MatchString(v)
+	case MatchPresent:
+		return v != ""
+	default:
+		return false
+	}
+}
+
+// KVMatch matches a named header or cookie.
+type KVMatch struct {
+	Name  string
+	Match StringMatch
+}
+
+// RouteMatch is the condition part of a route rule. Zero-value fields match
+// anything, so rules only state what they care about — the style of the
+// paper's "URL, HTTP headers, and message content" routing policies.
+type RouteMatch struct {
+	Method  StringMatch
+	Path    StringMatch
+	Headers []KVMatch
+	Cookies []KVMatch
+}
+
+// Matches reports whether the request satisfies every condition.
+func (m RouteMatch) Matches(r *Request) bool {
+	if !m.Method.Matches(r.Method) {
+		return false
+	}
+	if !m.Path.Matches(r.Path) {
+		return false
+	}
+	for _, h := range m.Headers {
+		if !h.Match.Matches(r.Header(h.Name)) {
+			return false
+		}
+	}
+	for _, c := range m.Cookies {
+		if !c.Match.Matches(r.Cookie(c.Name)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,266 @@
+package meshcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// The mesh handshake is a simplified 1-RTT mutual-TLS negotiation:
+//
+//	Client -> Server  ClientHello{certC, nonceC, ephPubC}
+//	Server -> Client  ServerHello{certS, nonceS, ephPubS, sigS}
+//	Client -> Server  Finished{sigC}
+//
+// Each side performs exactly one asymmetric-phase operation (an ECDSA
+// signature with its identity key plus an X25519 derivation), the operation
+// the KeyOps seam lets Canal offload to a remote key server. Session keys
+// are HKDF-derived from the ECDHE shared secret and both nonces.
+
+// ClientHello opens a handshake.
+type ClientHello struct {
+	CertDER []byte
+	NonceC  []byte
+	EphPubC []byte
+}
+
+// ServerHello answers a ClientHello.
+type ServerHello struct {
+	CertDER   []byte
+	NonceS    []byte
+	EphPubS   []byte
+	Signature []byte // server identity signature over the transcript
+}
+
+// Finished completes client authentication.
+type Finished struct {
+	Signature []byte // client identity signature over the transcript
+}
+
+// AsymResult is the output of the asymmetric phase of one handshake side.
+type AsymResult struct {
+	EphPub    []byte // the side's ephemeral public share
+	Signature []byte // identity signature over the final transcript
+	C2S, S2C  []byte // directional AES-256 keys
+}
+
+// Role identifies which side of the handshake an asymmetric operation
+// serves; the transcript is signed under a role-specific label to prevent
+// reflection.
+type Role int
+
+const (
+	// RoleServer generates a fresh ephemeral share and answers.
+	RoleServer Role = iota
+	// RoleClient confirms with the ephemeral share from its ClientHello.
+	RoleClient
+)
+
+// KeyOps performs the asymmetric phase of a handshake for a stored identity:
+// one ECDSA signature plus one X25519 derivation, returning the derived
+// symmetric keys. Implementations include LocalKeyOps (private key held by
+// the workload) and the key server's remote client (§4.1.3).
+type KeyOps interface {
+	// Complete signs and derives for the given identity. For RoleServer,
+	// ephPriv must be nil and a fresh ephemeral share is generated; for
+	// RoleClient, ephPriv is the X25519 private key whose public share was
+	// sent in the ClientHello. transcriptPrefix is everything both sides
+	// agree on before the signer's own ephemeral share, which Complete
+	// appends before signing.
+	Complete(identity string, role Role, transcriptPrefix, ephPriv, peerEphPub, nonceC, nonceS []byte) (*AsymResult, error)
+}
+
+// LocalKeyOps performs asymmetric operations with locally held identities —
+// the Istio/Ambient model, and Canal's fallback when the key server is
+// unreachable.
+type LocalKeyOps struct {
+	ids map[string]*Identity
+}
+
+// NewLocalKeyOps returns KeyOps over the given identities.
+func NewLocalKeyOps(ids ...*Identity) *LocalKeyOps {
+	m := make(map[string]*Identity, len(ids))
+	for _, id := range ids {
+		m[id.ID] = id
+	}
+	return &LocalKeyOps{ids: m}
+}
+
+// Add registers another identity.
+func (o *LocalKeyOps) Add(id *Identity) { o.ids[id.ID] = id }
+
+// Complete implements KeyOps.
+func (o *LocalKeyOps) Complete(identity string, role Role, transcriptPrefix, ephPriv, peerEphPub, nonceC, nonceS []byte) (*AsymResult, error) {
+	id, ok := o.ids[identity]
+	if !ok {
+		return nil, fmt.Errorf("meshcrypto: no stored key for identity %q", identity)
+	}
+	return CompleteWithKey(id.Key, role, transcriptPrefix, ephPriv, peerEphPub, nonceC, nonceS)
+}
+
+// CompleteWithKey is the shared asymmetric-phase implementation used by both
+// LocalKeyOps and the key server.
+func CompleteWithKey(key *ecdsa.PrivateKey, role Role, transcriptPrefix, ephPriv, peerEphPub, nonceC, nonceS []byte) (*AsymResult, error) {
+	curve := ecdh.X25519()
+	var priv *ecdh.PrivateKey
+	var err error
+	switch role {
+	case RoleServer:
+		if ephPriv != nil {
+			return nil, errors.New("meshcrypto: server role generates its own ephemeral key")
+		}
+		priv, err = curve.GenerateKey(rand.Reader)
+	case RoleClient:
+		priv, err = curve.NewPrivateKey(ephPriv)
+	default:
+		return nil, fmt.Errorf("meshcrypto: unknown role %d", role)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("meshcrypto: ephemeral key: %w", err)
+	}
+	peer, err := curve.NewPublicKey(peerEphPub)
+	if err != nil {
+		return nil, fmt.Errorf("meshcrypto: peer ephemeral share: %w", err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("meshcrypto: ECDH: %w", err)
+	}
+	transcript := transcriptDigest(role, transcriptPrefix, priv.PublicKey().Bytes())
+	sig, err := ecdsa.SignASN1(rand.Reader, key, transcript)
+	if err != nil {
+		return nil, fmt.Errorf("meshcrypto: signing transcript: %w", err)
+	}
+	c2s, s2c := DeriveKeys(shared, nonceC, nonceS)
+	return &AsymResult{EphPub: priv.PublicKey().Bytes(), Signature: sig, C2S: c2s, S2C: s2c}, nil
+}
+
+// transcriptDigest hashes prefix||ownEphPub under a role label.
+func transcriptDigest(role Role, prefix, ownEphPub []byte) []byte {
+	h := sha256.New()
+	if role == RoleServer {
+		h.Write([]byte("canal-hs-server"))
+	} else {
+		h.Write([]byte("canal-hs-client"))
+	}
+	h.Write(prefix)
+	h.Write(ownEphPub)
+	return h.Sum(nil)
+}
+
+// Offerer holds client-side handshake state between Offer and Finish.
+type Offerer struct {
+	identity string
+	certDER  []byte
+	ca       *CA
+	ops      KeyOps
+	ephPriv  []byte
+	nonceC   []byte
+	hello    *ClientHello
+}
+
+// Offer starts a handshake as the client. The ephemeral keypair is generated
+// locally (it carries no stored secret); the identity signature happens in
+// Finish via ops.
+func Offer(identity string, certDER []byte, ca *CA, ops KeyOps) (*ClientHello, *Offerer, error) {
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("meshcrypto: ephemeral key: %w", err)
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, nil, err
+	}
+	ch := &ClientHello{CertDER: certDER, NonceC: nonce, EphPubC: eph.PublicKey().Bytes()}
+	return ch, &Offerer{
+		identity: identity, certDER: certDER, ca: ca, ops: ops,
+		ephPriv: eph.Bytes(), nonceC: nonce, hello: ch,
+	}, nil
+}
+
+// Acceptance is the server's completed handshake: the session plus the
+// verified peer identity (pending the Finished check).
+type Acceptance struct {
+	Session *Session
+	PeerID  string
+	peerPub *ecdsa.PublicKey
+	prefix  []byte
+	ephPubC []byte
+}
+
+// Accept processes a ClientHello as the named server identity and produces
+// the ServerHello. The client is authenticated when VerifyFinished passes.
+func Accept(identity string, certDER []byte, ca *CA, ops KeyOps, ch *ClientHello) (*ServerHello, *Acceptance, error) {
+	peerID, peerPub, err := ca.VerifyPeer(ch.CertDER)
+	if err != nil {
+		return nil, nil, err
+	}
+	nonceS := make([]byte, 16)
+	if _, err := rand.Read(nonceS); err != nil {
+		return nil, nil, err
+	}
+	prefix := transcriptPrefix(ch, certDER, nonceS)
+	res, err := ops.Complete(identity, RoleServer, prefix, nil, ch.EphPubC, ch.NonceC, nonceS)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh := &ServerHello{CertDER: certDER, NonceS: nonceS, EphPubS: res.EphPub, Signature: res.Signature}
+	sess, err := NewSession(res.C2S, res.S2C, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sh, &Acceptance{Session: sess, PeerID: peerID, peerPub: peerPub, prefix: prefix, ephPubC: ch.EphPubC}, nil
+}
+
+// Finish processes the ServerHello on the client, returning the session and
+// the Finished message to send.
+func (o *Offerer) Finish(sh *ServerHello) (*Session, *Finished, string, error) {
+	peerID, peerPub, err := o.ca.VerifyPeer(sh.CertDER)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	prefix := transcriptPrefix(o.hello, sh.CertDER, sh.NonceS)
+	// Verify the server's signature over prefix||ephPubS.
+	digest := transcriptDigest(RoleServer, prefix, sh.EphPubS)
+	if !verifyASN1(peerPub, digest, sh.Signature) {
+		return nil, nil, "", errors.New("meshcrypto: server signature invalid")
+	}
+	res, err := o.ops.Complete(o.identity, RoleClient, prefix, o.ephPriv, sh.EphPubS, o.nonceC, sh.NonceS)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	sess, err := NewSession(res.C2S, res.S2C, true)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return sess, &Finished{Signature: res.Signature}, peerID, nil
+}
+
+// VerifyFinished authenticates the client's Finished message on the server.
+func (a *Acceptance) VerifyFinished(f *Finished) error {
+	digest := transcriptDigest(RoleClient, a.prefix, a.ephPubC)
+	if !verifyASN1(a.peerPub, digest, f.Signature) {
+		return errors.New("meshcrypto: client signature invalid")
+	}
+	return nil
+}
+
+// transcriptPrefix binds everything both sides know before the signer's own
+// ephemeral share: the client hello, the server certificate, and the server
+// nonce.
+func transcriptPrefix(ch *ClientHello, serverCert, nonceS []byte) []byte {
+	h := sha256.New()
+	h.Write(ch.CertDER)
+	h.Write(ch.NonceC)
+	h.Write(ch.EphPubC)
+	h.Write(serverCert)
+	h.Write(nonceS)
+	return h.Sum(nil)
+}
+
+func verifyASN1(pub *ecdsa.PublicKey, digest, sig []byte) bool {
+	return ecdsa.VerifyASN1(pub, digest, sig)
+}

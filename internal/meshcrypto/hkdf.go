@@ -1,0 +1,42 @@
+package meshcrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// hkdfExtract implements HKDF-Extract (RFC 5869) with SHA-256.
+func hkdfExtract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// hkdfExpand implements HKDF-Expand (RFC 5869) with SHA-256.
+func hkdfExpand(prk, info []byte, length int) []byte {
+	var (
+		out  []byte
+		prev []byte
+	)
+	for i := byte(1); len(out) < length; i++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(prev)
+		mac.Write(info)
+		mac.Write([]byte{i})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length]
+}
+
+// DeriveKeys derives two independent 32-byte AES keys (client-to-server and
+// server-to-client) from an ECDHE shared secret and the handshake nonces.
+func DeriveKeys(sharedSecret, clientNonce, serverNonce []byte) (c2s, s2c []byte) {
+	salt := append(append([]byte{}, clientNonce...), serverNonce...)
+	prk := hkdfExtract(salt, sharedSecret)
+	km := hkdfExpand(prk, []byte("canal mesh mtls v1"), 64)
+	return km[:32], km[32:]
+}

@@ -1,0 +1,95 @@
+package meshcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Session is an established record-protection context: AES-256-GCM in each
+// direction with sequence-number nonces. This is the symmetric crypto the
+// paper keeps local because it is frequent and cheap (§4.1.3).
+type Session struct {
+	isClient bool
+	send     cipher.AEAD
+	recv     cipher.AEAD
+	sendSeq  uint64
+	recvSeq  uint64
+	c2sKey   []byte
+	s2cKey   []byte
+}
+
+// NewSession builds a session from the directional keys. isClient selects
+// which key encrypts outbound records.
+func NewSession(c2s, s2c []byte, isClient bool) (*Session, error) {
+	mk := func(key []byte) (cipher.AEAD, error) {
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, fmt.Errorf("meshcrypto: session key: %w", err)
+		}
+		return cipher.NewGCM(block)
+	}
+	a, err := mk(c2s)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(s2c)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		isClient: isClient,
+		c2sKey:   append([]byte(nil), c2s...),
+		s2cKey:   append([]byte(nil), s2c...),
+	}
+	if isClient {
+		s.send, s.recv = a, b
+	} else {
+		s.send, s.recv = b, a
+	}
+	return s, nil
+}
+
+// Rekey ratchets both directional keys forward (TLS 1.3 KeyUpdate style):
+// each key becomes HKDF(key, "canal rekey"), and sequence numbers reset.
+// Both sides must rekey at the same point in the record stream, after which
+// the previous keys cannot decrypt new records (forward secrecy within the
+// session).
+func (s *Session) Rekey() error {
+	next := func(key []byte) []byte {
+		return hkdfExpand(hkdfExtract(nil, key), []byte("canal rekey"), 32)
+	}
+	fresh, err := NewSession(next(s.c2sKey), next(s.s2cKey), s.isClient)
+	if err != nil {
+		return err
+	}
+	*s = *fresh
+	return nil
+}
+
+// Seal encrypts one record.
+func (s *Session) Seal(plaintext []byte) []byte {
+	nonce := seqNonce(s.sendSeq)
+	s.sendSeq++
+	return s.send.Seal(nil, nonce, plaintext, nil)
+}
+
+// Open decrypts the next record. Records must be opened in the order they
+// were sealed (TCP ordering, as in TLS).
+func (s *Session) Open(ciphertext []byte) ([]byte, error) {
+	nonce := seqNonce(s.recvSeq)
+	pt, err := s.recv.Open(nil, nonce, ciphertext, nil)
+	if err != nil {
+		return nil, errors.New("meshcrypto: record authentication failed")
+	}
+	s.recvSeq++
+	return pt, nil
+}
+
+func seqNonce(seq uint64) []byte {
+	nonce := make([]byte, 12)
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	return nonce
+}

@@ -1,0 +1,122 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func place(region, az, node string) Place { return Place{Region: region, AZ: az, Node: node} }
+
+func TestPlaceLocality(t *testing.T) {
+	a := place("r1", "az1", "n1")
+	tests := []struct {
+		name                         string
+		b                            Place
+		sameNode, sameAZ, sameRegion bool
+	}{
+		{"identical", place("r1", "az1", "n1"), true, true, true},
+		{"same az diff node", place("r1", "az1", "n2"), false, true, true},
+		{"same region diff az", place("r1", "az2", "n1"), false, false, true},
+		{"diff region", place("r2", "az1", "n1"), false, false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := a.SameNode(tc.b); got != tc.sameNode {
+				t.Errorf("SameNode = %v, want %v", got, tc.sameNode)
+			}
+			if got := a.SameAZ(tc.b); got != tc.sameAZ {
+				t.Errorf("SameAZ = %v, want %v", got, tc.sameAZ)
+			}
+			if got := a.SameRegion(tc.b); got != tc.sameRegion {
+				t.Errorf("SameRegion = %v, want %v", got, tc.sameRegion)
+			}
+		})
+	}
+}
+
+func TestEmptyNodeNeverSameNode(t *testing.T) {
+	a := Place{Region: "r1", AZ: "az1"}
+	b := Place{Region: "r1", AZ: "az1"}
+	if a.SameNode(b) {
+		t.Error("placements with empty Node must not be considered co-located")
+	}
+	if !a.SameAZ(b) {
+		t.Error("placements with same AZ should be SameAZ")
+	}
+}
+
+func TestRTTOrdering(t *testing.T) {
+	c := Default()
+	a := place("r1", "az1", "n1")
+	loop := c.RTT(a, a)
+	intraAZ := c.RTT(a, place("r1", "az1", "n2"))
+	interAZ := c.RTT(a, place("r1", "az2", "n9"))
+	xregion := c.RTT(a, place("r2", "az1", "n1"))
+	if !(loop < intraAZ && intraAZ < interAZ && interAZ < xregion) {
+		t.Errorf("RTT ordering violated: %v %v %v %v", loop, intraAZ, interAZ, xregion)
+	}
+	// Paper: RTT within an AZ is generally less than 1ms.
+	if intraAZ >= time.Millisecond {
+		t.Errorf("intra-AZ RTT %v should be < 1ms", intraAZ)
+	}
+}
+
+func TestOneWayIsHalfRTT(t *testing.T) {
+	c := Default()
+	a, b := place("r1", "az1", "n1"), place("r1", "az2", "n2")
+	if got, want := c.OneWay(a, b), c.RTT(a, b)/2; got != want {
+		t.Errorf("OneWay = %v, want %v", got, want)
+	}
+}
+
+func TestAsymCryptoDominatesSym(t *testing.T) {
+	c := Default()
+	// Paper §4.1.3: asymmetric crypto resource consumption is much higher
+	// than symmetric crypto.
+	if c.AsymSoft < 100*c.SymPerKB {
+		t.Errorf("software asymmetric crypto (%v) should dwarf symmetric per-KB (%v)", c.AsymSoft, c.SymPerKB)
+	}
+	if c.AsymAccel >= c.AsymSoft {
+		t.Errorf("accelerated asym (%v) must beat software (%v)", c.AsymAccel, c.AsymSoft)
+	}
+}
+
+func TestL7CostScalesWithBody(t *testing.T) {
+	c := Default()
+	small := c.L7Cost(100)
+	big := c.L7Cost(64 * 1024)
+	if small <= 0 {
+		t.Error("L7 cost must be positive even for tiny bodies")
+	}
+	if big <= small {
+		t.Errorf("L7 cost should grow with body: %v vs %v", small, big)
+	}
+	if got, want := big-c.L7ParsePer, 64*c.L7PerKB; got != want {
+		t.Errorf("64KB body L7 overhead = %v, want %v", got, want)
+	}
+}
+
+func TestScaleKBRoundsUp(t *testing.T) {
+	c := Default()
+	if got := c.SymCryptoCost(1); got != c.SymPerKB {
+		t.Errorf("1-byte body should cost one full KB: %v", got)
+	}
+	if got := c.SymCryptoCost(1025); got != 2*c.SymPerKB {
+		t.Errorf("1025-byte body should cost two KB: %v", got)
+	}
+	if got := c.SymCryptoCost(0); got != 0 {
+		t.Errorf("empty body should cost 0, got %v", got)
+	}
+	if got := c.CopyCost(-5); got != 0 {
+		t.Errorf("negative body should cost 0, got %v", got)
+	}
+}
+
+func TestEBPFRedirectCheaperThanStackPass(t *testing.T) {
+	c := Default()
+	// The whole point of eBPF redirection (§4.1.2): skip kernel stack passes.
+	iptablesPerPacket := 2*c.ContextSw + 2*c.StackPass
+	if c.RedirectEBPF >= iptablesPerPacket {
+		t.Errorf("eBPF redirect (%v) should be cheaper than iptables path (%v)", c.RedirectEBPF, iptablesPerPacket)
+	}
+}

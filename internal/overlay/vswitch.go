@@ -1,0 +1,98 @@
+package overlay
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// ServiceKey is what the vSwitch can see before stripping the outer VXLAN
+// header: the tenant's VNI plus the inner destination. Because inner address
+// spaces overlap across tenants, the VNI is a mandatory part of the key.
+type ServiceKey struct {
+	VNI     uint32
+	DstIP   netip.Addr
+	DstPort uint16
+}
+
+// VSwitch maps (VNI, inner destination) to globally unique service IDs and
+// rewrites packets so that VMs above it — which never see the outer VXLAN
+// header — can still distinguish tenant services (§4.2). It is safe for
+// concurrent use.
+type VSwitch struct {
+	mu     sync.RWMutex
+	byKey  map[ServiceKey]uint64
+	byID   map[uint64]ServiceKey
+	nextID uint64
+}
+
+// NewVSwitch returns an empty vSwitch.
+func NewVSwitch() *VSwitch {
+	return &VSwitch{byKey: make(map[ServiceKey]uint64), byID: make(map[uint64]ServiceKey)}
+}
+
+// Register assigns (or returns the existing) globally unique service ID for a
+// tenant service destination.
+func (v *VSwitch) Register(key ServiceKey) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok := v.byKey[key]; ok {
+		return id
+	}
+	v.nextID++
+	v.byKey[key] = v.nextID
+	v.byID[v.nextID] = key
+	return v.nextID
+}
+
+// Lookup returns the service ID for a key, if registered.
+func (v *VSwitch) Lookup(key ServiceKey) (uint64, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.byKey[key]
+	return id, ok
+}
+
+// Reverse returns the key a service ID was registered under.
+func (v *VSwitch) Reverse(id uint64) (ServiceKey, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	k, ok := v.byID[id]
+	return k, ok
+}
+
+// Ingress processes one encapsulated packet arriving from the underlay:
+// it decapsulates the VXLAN header, resolves the service ID, and re-emits
+// shim + inner + payload — the form gateway VMs receive. Unregistered
+// destinations are an error: the controller must install service mappings
+// before traffic flows.
+func (v *VSwitch) Ingress(encapsulated []byte) ([]byte, error) {
+	vx, in, payload, err := Decapsulate(encapsulated)
+	if err != nil {
+		return nil, err
+	}
+	id, ok := v.Lookup(ServiceKey{VNI: vx.VNI, DstIP: in.Dst, DstPort: in.DstPort})
+	if !ok {
+		return nil, fmt.Errorf("overlay: no service mapping for VNI %d dst %v:%d", vx.VNI, in.Dst, in.DstPort)
+	}
+	out := Shim{ServiceID: id}.Marshal(nil)
+	out, err = in.Marshal(out)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, payload...), nil
+}
+
+// ParseVMPacket decodes a packet as delivered to a gateway VM: shim + inner +
+// payload.
+func ParseVMPacket(b []byte) (Shim, Inner, []byte, error) {
+	shim, rest, err := UnmarshalShim(b)
+	if err != nil {
+		return Shim{}, Inner{}, nil, err
+	}
+	in, payload, err := UnmarshalInner(rest)
+	if err != nil {
+		return Shim{}, Inner{}, nil, err
+	}
+	return shim, in, payload, nil
+}

@@ -1,0 +1,177 @@
+// Package overlay implements the VXLAN overlay the mesh gateway rides on:
+// byte-level VXLAN (RFC 7348) encapsulation, a minimal inner IPv4/transport
+// header codec, the vSwitch mapping from VXLAN VNI to a globally unique
+// service ID carried in a shim header (§4.2), and MTU accounting.
+//
+// The codecs operate directly on byte slices in the style of packet decoding
+// libraries: each layer knows how to serialize itself in front of a payload
+// and how to decode itself from the front of a buffer.
+package overlay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Header sizes in bytes.
+const (
+	VXLANHeaderLen = 8
+	InnerHeaderLen = 16
+	ShimHeaderLen  = 10
+	// OuterOverhead approximates outer IP (20) + UDP (8) + VXLAN (8).
+	OuterOverhead = 36
+)
+
+// vxlanFlagValidVNI is the I flag: the VNI field is valid.
+const vxlanFlagValidVNI = 0x08
+
+var (
+	ErrShortBuffer = errors.New("overlay: buffer too short")
+	ErrBadVXLAN    = errors.New("overlay: invalid VXLAN header")
+	ErrVNIRange    = errors.New("overlay: VNI exceeds 24 bits")
+	ErrMTU         = errors.New("overlay: encapsulated packet exceeds MTU")
+)
+
+// VXLAN is the 8-byte VXLAN header. Only the VNI is meaningful; flag and
+// reserved handling follows RFC 7348.
+type VXLAN struct {
+	VNI uint32 // 24-bit VXLAN network identifier
+}
+
+// Marshal appends the wire form of the header to dst.
+func (v VXLAN) Marshal(dst []byte) ([]byte, error) {
+	if v.VNI >= 1<<24 {
+		return nil, ErrVNIRange
+	}
+	var h [VXLANHeaderLen]byte
+	h[0] = vxlanFlagValidVNI
+	h[4] = byte(v.VNI >> 16)
+	h[5] = byte(v.VNI >> 8)
+	h[6] = byte(v.VNI)
+	return append(dst, h[:]...), nil
+}
+
+// UnmarshalVXLAN decodes a VXLAN header from the front of b and returns the
+// header and the remaining payload.
+func UnmarshalVXLAN(b []byte) (VXLAN, []byte, error) {
+	if len(b) < VXLANHeaderLen {
+		return VXLAN{}, nil, ErrShortBuffer
+	}
+	if b[0]&vxlanFlagValidVNI == 0 {
+		return VXLAN{}, nil, ErrBadVXLAN
+	}
+	vni := uint32(b[4])<<16 | uint32(b[5])<<8 | uint32(b[6])
+	return VXLAN{VNI: vni}, b[VXLANHeaderLen:], nil
+}
+
+// Inner is the simplified inner L3/L4 header: IPv4 addresses, transport
+// ports, and protocol. It is 16 bytes on the wire.
+type Inner struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Marshal appends the wire form of the inner header to dst.
+func (in Inner) Marshal(dst []byte) ([]byte, error) {
+	if !in.Src.Is4() || !in.Dst.Is4() {
+		return nil, fmt.Errorf("overlay: inner header requires IPv4 addresses (src=%v dst=%v)", in.Src, in.Dst)
+	}
+	var h [InnerHeaderLen]byte
+	s, d := in.Src.As4(), in.Dst.As4()
+	copy(h[0:4], s[:])
+	copy(h[4:8], d[:])
+	binary.BigEndian.PutUint16(h[8:10], in.SrcPort)
+	binary.BigEndian.PutUint16(h[10:12], in.DstPort)
+	h[12] = in.Proto
+	// h[13:16] reserved.
+	return append(dst, h[:]...), nil
+}
+
+// UnmarshalInner decodes an inner header from the front of b.
+func UnmarshalInner(b []byte) (Inner, []byte, error) {
+	if len(b) < InnerHeaderLen {
+		return Inner{}, nil, ErrShortBuffer
+	}
+	var in Inner
+	in.Src = netip.AddrFrom4([4]byte(b[0:4]))
+	in.Dst = netip.AddrFrom4([4]byte(b[4:8]))
+	in.SrcPort = binary.BigEndian.Uint16(b[8:10])
+	in.DstPort = binary.BigEndian.Uint16(b[10:12])
+	in.Proto = b[12]
+	return in, b[InnerHeaderLen:], nil
+}
+
+// Shim is the per-packet shim the vSwitch attaches after mapping the VNI to a
+// globally unique service ID, so VMs above the vSwitch (which never see the
+// outer VXLAN header) can still distinguish tenant services.
+type Shim struct {
+	ServiceID uint64
+	Flags     uint16
+}
+
+// Shim flags.
+const (
+	// ShimSandboxed marks traffic already diverted to a sandbox.
+	ShimSandboxed uint16 = 1 << iota
+	// ShimThrottled marks traffic admitted under an active throttle.
+	ShimThrottled
+)
+
+// Marshal appends the wire form of the shim to dst.
+func (s Shim) Marshal(dst []byte) []byte {
+	var h [ShimHeaderLen]byte
+	binary.BigEndian.PutUint64(h[0:8], s.ServiceID)
+	binary.BigEndian.PutUint16(h[8:10], s.Flags)
+	return append(dst, h[:]...)
+}
+
+// UnmarshalShim decodes a shim header from the front of b.
+func UnmarshalShim(b []byte) (Shim, []byte, error) {
+	if len(b) < ShimHeaderLen {
+		return Shim{}, nil, ErrShortBuffer
+	}
+	return Shim{
+		ServiceID: binary.BigEndian.Uint64(b[0:8]),
+		Flags:     binary.BigEndian.Uint16(b[8:10]),
+	}, b[ShimHeaderLen:], nil
+}
+
+// Encapsulate builds outer(VXLAN) + inner + payload. mtu <= 0 disables the
+// MTU check; otherwise the full encapsulated size (including the modeled
+// outer IP/UDP overhead) must fit, or ErrMTU is returned — the failure mode
+// the paper mitigates by raising the device MTU (Appendix A).
+func Encapsulate(vni uint32, in Inner, payload []byte, mtu int) ([]byte, error) {
+	buf := make([]byte, 0, VXLANHeaderLen+InnerHeaderLen+len(payload))
+	buf, err := VXLAN{VNI: vni}.Marshal(buf)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = in.Marshal(buf)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, payload...)
+	if mtu > 0 && len(buf)+OuterOverhead-VXLANHeaderLen > mtu {
+		return nil, fmt.Errorf("%w: %d > %d", ErrMTU, len(buf)+OuterOverhead-VXLANHeaderLen, mtu)
+	}
+	return buf, nil
+}
+
+// Decapsulate splits an encapsulated packet into its VXLAN header, inner
+// header, and payload.
+func Decapsulate(b []byte) (VXLAN, Inner, []byte, error) {
+	vx, rest, err := UnmarshalVXLAN(b)
+	if err != nil {
+		return VXLAN{}, Inner{}, nil, err
+	}
+	in, payload, err := UnmarshalInner(rest)
+	if err != nil {
+		return VXLAN{}, Inner{}, nil, err
+	}
+	return vx, in, payload, nil
+}

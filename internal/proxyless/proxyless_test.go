@@ -1,0 +1,199 @@
+package proxyless
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestFeatureMatrix(t *testing.T) {
+	m := FeatureMatrix()
+	if m[FeatureTrafficControl] != Full {
+		t.Error("traffic control lives at the gateway: full")
+	}
+	if m[FeatureNodeObservability] != Unavailable {
+		t.Error("node observability is lost without an on-node proxy")
+	}
+	if m[FeatureGatewayObservability] != Full {
+		t.Error("gateway observability remains")
+	}
+	if m[FeatureEncryption] != SemiManaged {
+		t.Error("encryption degrades to semi-managed")
+	}
+	if m[FeatureAuthentication] != Partial {
+		t.Error("authentication degrades to ENI-based partial")
+	}
+	for f, s := range m {
+		if f.String() == "" || s.String() == "" {
+			t.Error("stringers must not be empty")
+		}
+	}
+	if Feature(99).String() == "" {
+		t.Error("unknown feature should stringify")
+	}
+}
+
+func TestDNSRedirectionRequiresConsent(t *testing.T) {
+	d := NewDNSRedirector(addr("100.64.0.1"))
+	d.AddRecord("web.acme.svc", addr("10.96.0.10"))
+	if err := d.Redirect("web.acme.svc"); !errors.Is(err, ErrNoConsent) {
+		t.Fatalf("err = %v, want ErrNoConsent", err)
+	}
+	d.Consent()
+	if err := d.Redirect("web.acme.svc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDNSResolutionSwitchesAndRestores(t *testing.T) {
+	gw := addr("100.64.0.1")
+	cluster := addr("10.96.0.10")
+	d := NewDNSRedirector(gw)
+	d.Consent()
+	d.AddRecord("web.acme.svc", cluster)
+
+	if ip, err := d.Resolve("web.acme.svc"); err != nil || ip != cluster {
+		t.Fatalf("before redirect: %v %v", ip, err)
+	}
+	if err := d.Redirect("web.acme.svc"); err != nil {
+		t.Fatal(err)
+	}
+	if ip, _ := d.Resolve("web.acme.svc"); ip != gw {
+		t.Fatalf("after redirect: %v, want gateway VIP", ip)
+	}
+	if got := d.Redirected(); len(got) != 1 || got[0] != "web.acme.svc" {
+		t.Errorf("Redirected = %v", got)
+	}
+	d.Restore("web.acme.svc")
+	if ip, _ := d.Resolve("web.acme.svc"); ip != cluster {
+		t.Fatalf("after restore: %v, want cluster IP", ip)
+	}
+}
+
+func TestDNSUnknownService(t *testing.T) {
+	d := NewDNSRedirector(addr("100.64.0.1"))
+	d.Consent()
+	if err := d.Redirect("ghost"); err == nil {
+		t.Error("redirecting unknown service should fail")
+	}
+	if _, err := d.Resolve("ghost"); err == nil {
+		t.Error("resolving unknown service should fail")
+	}
+}
+
+func pool(n int) []netip.Addr {
+	var out []netip.Addr
+	for i := 0; i < n; i++ {
+		out = append(out, addr(fmt.Sprintf("10.1.0.%d", i+1)))
+	}
+	return out
+}
+
+func TestENIAttachLimits(t *testing.T) {
+	m := NewENIManager(3, 10*ENIMemoryKB, pool(10))
+	for i := 0; i < 3; i++ {
+		if _, err := m.Attach(fmt.Sprintf("c%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Attach("c3"); !errors.Is(err, ErrENILimit) {
+		t.Errorf("quota: err = %v, want ErrENILimit", err)
+	}
+	if m.Count() != 3 {
+		t.Errorf("Count = %d", m.Count())
+	}
+}
+
+func TestENIMemoryBudget(t *testing.T) {
+	m := NewENIManager(100, 2*ENIMemoryKB, pool(10))
+	m.Attach("a")
+	m.Attach("b")
+	if _, err := m.Attach("c"); !errors.Is(err, ErrENILimit) {
+		t.Errorf("memory: err = %v, want ErrENILimit", err)
+	}
+}
+
+func TestENIIPPoolExhaustion(t *testing.T) {
+	m := NewENIManager(100, 1<<20, pool(2))
+	m.Attach("a")
+	m.Attach("b")
+	if _, err := m.Attach("c"); !errors.Is(err, ErrENILimit) {
+		t.Errorf("pool: err = %v, want ErrENILimit", err)
+	}
+}
+
+func TestENIAttachIdempotentAndDetach(t *testing.T) {
+	m := NewENIManager(10, 1<<20, pool(10))
+	e1, err := m.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := m.Attach("a")
+	if e1 != e2 {
+		t.Error("re-attach should return the existing interface")
+	}
+	m.Detach("a")
+	if m.Count() != 0 {
+		t.Error("detach should remove")
+	}
+}
+
+func TestENIDistinctIPs(t *testing.T) {
+	m := NewENIManager(10, 1<<20, pool(10))
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 5; i++ {
+		e, err := m.Attach(fmt.Sprintf("c%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[e.IP] {
+			t.Fatal("duplicate interface IP")
+		}
+		seen[e.IP] = true
+	}
+}
+
+func TestVerifierAntiSpoofing(t *testing.T) {
+	m := NewENIManager(10, 1<<20, pool(10))
+	a, _ := m.Attach("app-a")
+	b, _ := m.Attach("app-b")
+	v := NewVerifier(m)
+	v.Guard = true
+
+	if ok, _ := v.Verify("app-a", "app-a", a.IP); !ok {
+		t.Error("legitimate traffic should verify")
+	}
+	// Forged source address fails regardless of guard.
+	if ok, why := v.Verify("app-a", "app-a", b.IP); ok {
+		t.Errorf("spoofed source should fail: %s", why)
+	}
+	// Unattached claimed container fails.
+	if ok, _ := v.Verify("ghost", "ghost", a.IP); ok {
+		t.Error("unknown container should fail")
+	}
+}
+
+func TestVerifierGuardGap(t *testing.T) {
+	// The Appendix B caveat: without per-container interface protection
+	// (the feature Flannel/Calico lack), a co-located container can
+	// impersonate the interface owner.
+	m := NewENIManager(10, 1<<20, pool(10))
+	a, _ := m.Attach("app-a")
+	m.Attach("app-b")
+	v := NewVerifier(m) // Guard off
+
+	ok, why := v.Verify("app-a", "app-b", a.IP)
+	if !ok {
+		t.Fatal("without a guard the impersonation sadly passes")
+	}
+	if why == "" {
+		t.Error("the gap must be flagged in the verdict")
+	}
+	v.Guard = true
+	if ok, _ := v.Verify("app-a", "app-b", a.IP); ok {
+		t.Error("with the guard, impersonation must fail")
+	}
+}

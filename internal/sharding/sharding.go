@@ -1,0 +1,175 @@
+// Package sharding implements shuffle sharding for inter-service failure
+// isolation (§4.2, [39]): every service gets its own combination of gateway
+// backends, chosen so that no two services share the exact same combination.
+// When a query of death takes down every backend of one service, other
+// services still have healthy backends (Fig. 19).
+package sharding
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Assigner deterministically maps service IDs to shard combinations of k
+// backends out of n, guaranteeing distinct combinations across services as
+// long as C(n, k) allows.
+type Assigner struct {
+	n, k int
+	seed int64
+	used map[string]bool  // canonical combo -> taken
+	byID map[string][]int // service -> combo
+}
+
+// NewAssigner creates an assigner for n backends with k backends per
+// service. It panics if k > n or k <= 0 — a deployment configuration error.
+func NewAssigner(n, k int, seed int64) *Assigner {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("sharding: invalid shard size %d of %d backends", k, n))
+	}
+	return &Assigner{n: n, k: k, seed: seed, used: make(map[string]bool), byID: make(map[string][]int)}
+}
+
+// Assign returns the service's shard: k distinct backend indices, sorted.
+// Repeated calls for the same service return the same shard. Distinct
+// services receive distinct combinations until the combination space is
+// exhausted, after which collisions are tolerated (matching the paper's
+// "minimize the overlap" goal rather than a hard guarantee).
+func (a *Assigner) Assign(serviceID string) []int {
+	if combo, ok := a.byID[serviceID]; ok {
+		return append([]int(nil), combo...)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(serviceID))
+	rng := rand.New(rand.NewSource(a.seed ^ int64(h.Sum64())))
+
+	var combo []int
+	const maxDraws = 64
+	for draw := 0; draw < maxDraws; draw++ {
+		combo = drawCombo(rng, a.n, a.k)
+		if !a.used[comboKey(combo)] {
+			break
+		}
+	}
+	a.used[comboKey(combo)] = true
+	a.byID[serviceID] = combo
+	return append([]int(nil), combo...)
+}
+
+// drawCombo samples k of n without replacement and sorts.
+func drawCombo(rng *rand.Rand, n, k int) []int {
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	return perm
+}
+
+func comboKey(combo []int) string {
+	return fmt.Sprint(combo)
+}
+
+// Assignments returns a copy of all assignments made so far.
+func (a *Assigner) Assignments() map[string][]int {
+	out := make(map[string][]int, len(a.byID))
+	for id, combo := range a.byID {
+		out[id] = append([]int(nil), combo...)
+	}
+	return out
+}
+
+// Overlap returns how many backends two shards share.
+func Overlap(a, b []int) int {
+	set := make(map[int]bool, len(a))
+	for _, i := range a {
+		set[i] = true
+	}
+	n := 0
+	for _, i := range b {
+		if set[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarizes the isolation quality of a set of assignments.
+type Stats struct {
+	Services         int
+	MaxOverlap       int // largest pairwise overlap
+	FullOverlapPairs int // pairs sharing an identical combination
+	// AffectedByWorstFailure is the largest number of services that lose
+	// ALL their backends when some single service's full shard fails —
+	// the blast radius of a query of death. With proper shuffle sharding
+	// this is 1 (only the victim itself).
+	AffectedByWorstFailure int
+}
+
+// Analyze computes isolation statistics over assignments.
+func Analyze(assignments map[string][]int) Stats {
+	ids := make([]string, 0, len(assignments))
+	for id := range assignments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	st := Stats{Services: len(ids)}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			ov := Overlap(assignments[ids[i]], assignments[ids[j]])
+			if ov > st.MaxOverlap {
+				st.MaxOverlap = ov
+			}
+			if ov == len(assignments[ids[i]]) && ov == len(assignments[ids[j]]) {
+				st.FullOverlapPairs++
+			}
+		}
+	}
+	// Blast radius: fail each service's shard and count services fully
+	// contained in the failed set.
+	for _, victim := range ids {
+		failed := make(map[int]bool)
+		for _, b := range assignments[victim] {
+			failed[b] = true
+		}
+		affected := 0
+		for _, other := range ids {
+			all := true
+			for _, b := range assignments[other] {
+				if !failed[b] {
+					all = false
+					break
+				}
+			}
+			if all {
+				affected++
+			}
+		}
+		if affected > st.AffectedByWorstFailure {
+			st.AffectedByWorstFailure = affected
+		}
+	}
+	return st
+}
+
+// NaiveAssigner is the ablation baseline: it packs services onto the same
+// first-k backends (range sharding), maximizing overlap — the behaviour
+// shuffle sharding exists to avoid.
+type NaiveAssigner struct {
+	n, k int
+}
+
+// NewNaiveAssigner returns the baseline assigner.
+func NewNaiveAssigner(n, k int) *NaiveAssigner {
+	if k <= 0 || k > n {
+		panic("sharding: invalid naive shard size")
+	}
+	return &NaiveAssigner{n: n, k: k}
+}
+
+// Assign returns the same first-k combination for every service.
+func (a *NaiveAssigner) Assign(string) []int {
+	combo := make([]int, a.k)
+	for i := range combo {
+		combo[i] = i
+	}
+	return combo
+}

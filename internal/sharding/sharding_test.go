@@ -1,0 +1,163 @@
+package sharding
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignStableAndSorted(t *testing.T) {
+	a := NewAssigner(20, 3, 42)
+	first := a.Assign("svc-a")
+	if len(first) != 3 {
+		t.Fatalf("shard size = %d", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1] >= first[i] {
+			t.Fatal("shard must be sorted distinct")
+		}
+	}
+	again := a.Assign("svc-a")
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatal("assignment must be stable")
+		}
+	}
+}
+
+func TestAssignInRange(t *testing.T) {
+	a := NewAssigner(10, 4, 1)
+	for i := 0; i < 50; i++ {
+		for _, b := range a.Assign(fmt.Sprintf("svc-%d", i)) {
+			if b < 0 || b >= 10 {
+				t.Fatalf("backend index %d out of range", b)
+			}
+		}
+	}
+}
+
+func TestDistinctCombinations(t *testing.T) {
+	// The Fig 19 property: no complete overlap among services' backend
+	// combinations.
+	a := NewAssigner(20, 3, 7)
+	for i := 0; i < 100; i++ {
+		a.Assign(fmt.Sprintf("svc-%d", i))
+	}
+	st := Analyze(a.Assignments())
+	if st.FullOverlapPairs != 0 {
+		t.Errorf("full-overlap pairs = %d, want 0", st.FullOverlapPairs)
+	}
+	if st.AffectedByWorstFailure != 1 {
+		t.Errorf("blast radius = %d services, want 1 (victim only)", st.AffectedByWorstFailure)
+	}
+	if st.Services != 100 {
+		t.Errorf("services = %d", st.Services)
+	}
+}
+
+func TestNaiveAssignerFullBlastRadius(t *testing.T) {
+	// Ablation: naive range sharding means one query of death kills
+	// everyone.
+	n := NewNaiveAssigner(20, 3)
+	assignments := map[string][]int{}
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("svc-%d", i)
+		assignments[id] = n.Assign(id)
+	}
+	st := Analyze(assignments)
+	if st.FullOverlapPairs == 0 {
+		t.Error("naive sharding should fully overlap")
+	}
+	if st.AffectedByWorstFailure != 50 {
+		t.Errorf("naive blast radius = %d, want all 50", st.AffectedByWorstFailure)
+	}
+}
+
+func TestExhaustedComboSpaceToleratesCollisions(t *testing.T) {
+	// C(3,2) = 3 combos but 10 services: collisions must be tolerated, not
+	// loop forever.
+	a := NewAssigner(3, 2, 1)
+	for i := 0; i < 10; i++ {
+		combo := a.Assign(fmt.Sprintf("svc-%d", i))
+		if len(combo) != 2 {
+			t.Fatal("shard size")
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if Overlap([]int{1, 2, 3}, []int{3, 4, 5}) != 1 {
+		t.Error("overlap of one")
+	}
+	if Overlap([]int{1, 2}, []int{1, 2}) != 2 {
+		t.Error("full overlap")
+	}
+	if Overlap([]int{1}, []int{2}) != 0 {
+		t.Error("disjoint")
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewAssigner(3, 0, 1) },
+		func() { NewAssigner(3, 4, 1) },
+		func() { NewNaiveAssigner(2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssignmentsCopySemantics(t *testing.T) {
+	a := NewAssigner(10, 2, 1)
+	a.Assign("x")
+	m := a.Assignments()
+	m["x"][0] = 999
+	if a.Assign("x")[0] == 999 {
+		t.Error("Assignments must return copies")
+	}
+	shard := a.Assign("x")
+	shard[0] = 888
+	if a.Assign("x")[0] == 888 {
+		t.Error("Assign must return a copy")
+	}
+}
+
+func TestAssignDeterministicAcrossInstances(t *testing.T) {
+	a1 := NewAssigner(20, 3, 99)
+	a2 := NewAssigner(20, 3, 99)
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("svc-%d", i)
+		s1, s2 := a1.Assign(id), a2.Assign(id)
+		for j := range s1 {
+			if s1[j] != s2[j] {
+				t.Fatal("same seed must give same assignments")
+			}
+		}
+	}
+}
+
+func TestShardPropertyDistinctSorted(t *testing.T) {
+	a := NewAssigner(50, 5, 3)
+	f := func(id string) bool {
+		shard := a.Assign(id)
+		if len(shard) != 5 {
+			return false
+		}
+		for i := 1; i < len(shard); i++ {
+			if shard[i-1] >= shard[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// UtilBucket is the granularity at which Processor accounts busy time for
+// utilization reporting. One second matches the sampling interval the paper's
+// monitoring system uses for backend water levels.
+const UtilBucket = time.Second
+
+// Processor models a multi-core FCFS work-conserving CPU. Each Exec charges a
+// CPU cost to the earliest-available core; when all cores are busy the work
+// queues, which is the mechanism behind every latency knee in the paper's
+// figures (Figs 2, 11, 13).
+type Processor struct {
+	sim   *Sim
+	name  string
+	cores []time.Duration // next instant each core becomes free
+	busy  map[int64]time.Duration
+	total time.Duration // cumulative busy time across cores
+	done  uint64        // completed work items
+}
+
+// NewProcessor returns a processor with the given core count attached to s.
+func NewProcessor(s *Sim, name string, cores int) *Processor {
+	if cores <= 0 {
+		panic(fmt.Sprintf("sim: processor %q needs at least one core", name))
+	}
+	return &Processor{
+		sim:   s,
+		name:  name,
+		cores: make([]time.Duration, cores),
+		busy:  make(map[int64]time.Duration),
+	}
+}
+
+// Name returns the processor's diagnostic name.
+func (p *Processor) Name() string { return p.name }
+
+// Cores returns the processor's core count.
+func (p *Processor) Cores() int { return len(p.cores) }
+
+// Completed returns the number of finished work items.
+func (p *Processor) Completed() uint64 { return p.done }
+
+// BusyTotal returns cumulative busy core-time since creation.
+func (p *Processor) BusyTotal() time.Duration { return p.total }
+
+// Exec queues work costing cost CPU time and invokes fn (if non-nil) when it
+// completes. It returns the completion instant, so callers can chain hops.
+func (p *Processor) Exec(cost time.Duration, fn func()) time.Duration {
+	if cost < 0 {
+		panic(fmt.Sprintf("sim: processor %q got negative cost %v", p.name, cost))
+	}
+	now := p.sim.Now()
+	core := 0
+	for i := 1; i < len(p.cores); i++ {
+		if p.cores[i] < p.cores[core] {
+			core = i
+		}
+	}
+	start := p.cores[core]
+	if start < now {
+		start = now
+	}
+	end := start + cost
+	p.cores[core] = end
+	p.account(start, end)
+	p.total += cost
+	p.sim.At(end, func() {
+		p.done++
+		if fn != nil {
+			fn()
+		}
+	})
+	return end
+}
+
+// QueueDelay returns how long newly submitted work would wait before starting.
+func (p *Processor) QueueDelay() time.Duration {
+	now := p.sim.Now()
+	min := p.cores[0]
+	for _, c := range p.cores[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	if min <= now {
+		return 0
+	}
+	return min - now
+}
+
+// account spreads the busy interval [start, end) across utilization buckets.
+func (p *Processor) account(start, end time.Duration) {
+	for start < end {
+		b := int64(start / UtilBucket)
+		bEnd := time.Duration(b+1) * UtilBucket
+		if bEnd > end {
+			bEnd = end
+		}
+		p.busy[b] += bEnd - start
+		start = bEnd
+	}
+}
+
+// Utilization returns the fraction of core capacity used during the bucket
+// containing t, in [0, 1].
+func (p *Processor) Utilization(t time.Duration) float64 {
+	b := int64(t / UtilBucket)
+	u := float64(p.busy[b]) / (float64(UtilBucket) * float64(len(p.cores)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// UtilizationRange returns average utilization over [from, to).
+func (p *Processor) UtilizationRange(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	var sum time.Duration
+	for b := int64(from / UtilBucket); b <= int64((to-1)/UtilBucket); b++ {
+		sum += p.busy[b]
+	}
+	u := float64(sum) / (float64(to-from) * float64(len(p.cores)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// AddCores grows the processor by n cores, effective immediately. This models
+// vertical scale-up of a replica VM.
+func (p *Processor) AddCores(n int) {
+	now := p.sim.Now()
+	for i := 0; i < n; i++ {
+		p.cores = append(p.cores, now)
+	}
+}

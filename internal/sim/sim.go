@@ -1,0 +1,133 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// simulated experiment in the repository: a virtual clock, an event queue,
+// deterministic seeded randomness, and a multi-core processor model that
+// turns per-request CPU costs into queueing delay and utilization curves.
+//
+// All simulated time is expressed as time.Duration offsets from the start of
+// the simulation. Events scheduled for the same instant run in scheduling
+// order, which keeps every experiment fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+type Sim struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	halted bool
+}
+
+// New returns a simulator whose random source is seeded with seed, so runs
+// are reproducible.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error in experiment logic, so it panics loudly rather than corrupting the
+// causal order of events.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Every schedules fn at now+interval, now+2*interval, ... until either the
+// simulation drains or fn returns false.
+func (s *Sim) Every(interval time.Duration, fn func() bool) {
+	if interval <= 0 {
+		panic("sim: Every requires a positive interval")
+	}
+	var tick func()
+	tick = func() {
+		if !fn() {
+			return
+		}
+		s.After(interval, tick)
+	}
+	s.After(interval, tick)
+}
+
+// Run processes events until the queue is empty or Halt is called.
+func (s *Sim) Run() {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock to
+// t. Events scheduled after t remain queued.
+func (s *Sim) RunUntil(t time.Duration) {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted && s.queue[0].at <= t {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+	if !s.halted && t > s.now {
+		s.now = t
+	}
+}
+
+// Halt stops Run/RunUntil after the current event completes. Pending events
+// stay queued, so the simulation can be resumed.
+func (s *Sim) Halt() { s.halted = true }
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

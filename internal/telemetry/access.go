@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AccessLayer distinguishes the observability depth of a log entry. The
+// Canal on-node proxy records L4-only entries; the mesh gateway records rich
+// L7 entries (§4.1.1).
+type AccessLayer int
+
+const (
+	// AccessL4 carries connection-level fields only.
+	AccessL4 AccessLayer = 4
+	// AccessL7 additionally carries method/path/status.
+	AccessL7 AccessLayer = 7
+)
+
+// AccessEntry is one access-log record.
+type AccessEntry struct {
+	At       time.Duration
+	Layer    AccessLayer
+	Where    string // component that logged it (node proxy, gateway replica)
+	Tenant   string
+	Service  string
+	SrcPod   string
+	Method   string // L7 only
+	Path     string // L7 only
+	Status   int    // L7 only; 0 at L4
+	Latency  time.Duration
+	BodySize int
+}
+
+// String renders the entry in a single line.
+func (e AccessEntry) String() string {
+	if e.Layer == AccessL4 {
+		return fmt.Sprintf("%v L4 %s tenant=%s svc=%s src=%s lat=%v bytes=%d",
+			e.At, e.Where, e.Tenant, e.Service, e.SrcPod, e.Latency, e.BodySize)
+	}
+	return fmt.Sprintf("%v L7 %s tenant=%s svc=%s src=%s %s %s -> %d lat=%v bytes=%d",
+		e.At, e.Where, e.Tenant, e.Service, e.SrcPod, e.Method, e.Path, e.Status, e.Latency, e.BodySize)
+}
+
+// AccessLog is an in-memory structured access log.
+type AccessLog struct {
+	mu      sync.Mutex
+	entries []AccessEntry
+}
+
+// Log appends one entry.
+func (l *AccessLog) Log(e AccessEntry) {
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+// Entries returns a copy of all entries.
+func (l *AccessLog) Entries() []AccessEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AccessEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len returns the entry count.
+func (l *AccessLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// CountStatus returns how many L7 entries carry the given status code.
+func (l *AccessLog) CountStatus(status int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.Layer == AccessL7 && e.Status == status {
+			n++
+		}
+	}
+	return n
+}
+
+// Span is one hop of a request trace.
+type Span struct {
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Trace accumulates the spans of one end-to-end request, enabling the
+// precise fault pinpointing that requires instrumentation on all critical
+// nodes (§4.1.1 Observability).
+type Trace struct {
+	ID    uint64
+	Spans []Span
+}
+
+// Add appends a span.
+func (t *Trace) Add(name string, start, end time.Duration) {
+	t.Spans = append(t.Spans, Span{Name: name, Start: start, End: end})
+}
+
+// Total returns the wall time from the first span start to the last span end.
+func (t *Trace) Total() time.Duration {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	start, end := t.Spans[0].Start, t.Spans[0].End
+	for _, s := range t.Spans[1:] {
+		if s.Start < start {
+			start = s.Start
+		}
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end - start
+}

@@ -1,0 +1,344 @@
+// Package telemetry provides the observability substrate of the mesh:
+// counters, gauges, latency histograms and exact-percentile samples, sampled
+// time series, structured access logs, request tracing, and the full-mesh
+// prober the paper uses to "prove absence of failure" (§6.4).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increments the counter by d (d < 0 panics).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("telemetry: counter decrement")
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the gauge value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Sample collects observations and answers exact order statistics. It is the
+// right tool for experiment-scale latency percentiles (P50/P90/P99).
+type Sample struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+}
+
+// Observe records one value.
+func (s *Sample) Observe(v float64) {
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.sorted = false
+	s.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (s *Sample) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (s *Sample) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using the
+// nearest-rank method, or 0 with no observations.
+func (s *Sample) Percentile(p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	return s.vals[rank-1]
+}
+
+// PercentileDuration returns the p-th percentile as a duration.
+func (s *Sample) PercentileDuration(p float64) time.Duration {
+	return time.Duration(s.Percentile(p) * float64(time.Second))
+}
+
+// Max returns the maximum observation, or 0 with no observations.
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// Reset discards all observations.
+func (s *Sample) Reset() {
+	s.mu.Lock()
+	s.vals = s.vals[:0]
+	s.sorted = false
+	s.mu.Unlock()
+}
+
+// Histogram is a constant-memory log-bucketed latency histogram used where
+// observation volume makes Sample impractical (region-scale runs).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending
+	counts []uint64  // len(bounds)+1, last is overflow
+	count  uint64
+	sum    float64
+}
+
+// NewLatencyHistogram returns a histogram with exponential bucket bounds from
+// 10µs to ~167s (doubling), suitable for end-to-end latencies.
+func NewLatencyHistogram() *Histogram {
+	var bounds []float64
+	for b := 10e-6; b < 200; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns total observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
+// within the containing bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo * 2
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := 0.5
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Buckets returns copies of the bucket bounds and counts (for rendering
+// distributions like Fig 24).
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	c := make([]uint64, len(h.counts))
+	copy(c, h.counts)
+	return b, c
+}
+
+// Point is one time-series sample.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only sampled time series (backend water levels,
+// per-service RPS, ...). It is what the anomaly-detection and root-cause
+// analysis code consumes.
+type Series struct {
+	mu   sync.Mutex
+	name string
+	pts  []Point
+}
+
+// NewSeries returns a named empty series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append adds a sample. Timestamps must be non-decreasing.
+func (s *Series) Append(t time.Duration, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.pts); n > 0 && s.pts[n-1].T > t {
+		panic(fmt.Sprintf("telemetry: series %s: time going backwards (%v after %v)", s.name, t, s.pts[n-1].T))
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// Points returns a copy of all samples.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.pts))
+	copy(out, s.pts)
+	return out
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pts)
+}
+
+// Last returns the most recent sample, or a zero Point.
+func (s *Series) Last() Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pts) == 0 {
+		return Point{}
+	}
+	return s.pts[len(s.pts)-1]
+}
+
+// Window returns the samples with T in [from, to).
+func (s *Series) Window(from, to time.Duration) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T >= from })
+	hi := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T >= to })
+	out := make([]Point, hi-lo)
+	copy(out, s.pts[lo:hi])
+	return out
+}
+
+// Values returns just the values of the samples in [from, to).
+func (s *Series) Values(from, to time.Duration) []float64 {
+	w := s.Window(from, to)
+	out := make([]float64, len(w))
+	for i, p := range w {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Correlation returns the Pearson correlation of two equal-length value
+// vectors, or 0 when undefined. The root-cause analysis (§4.3) uses it to
+// align service traffic trends with backend water levels.
+func Correlation(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"canalmesh/internal/sim"
+)
+
+// ProbeProto enumerates the diverse app-instance protocols the full-mesh
+// prober deploys (§6.4): WebSocket, HTTP, HTTPS, gRPC.
+type ProbeProto string
+
+const (
+	ProtoHTTP      ProbeProto = "http"
+	ProtoHTTPS     ProbeProto = "https"
+	ProtoGRPC      ProbeProto = "grpc"
+	ProtoWebSocket ProbeProto = "websocket"
+)
+
+// ProbeInstance is one deployed probe app.
+type ProbeInstance struct {
+	ID    string
+	AZ    string
+	Proto ProbeProto
+}
+
+// ProbeResult is the outcome of one directed probe.
+type ProbeResult struct {
+	At       time.Duration
+	Src, Dst ProbeInstance
+	Latency  time.Duration
+	OK       bool
+}
+
+// ProbeFunc performs one probe between two instances, returning the measured
+// latency and success.
+type ProbeFunc func(src, dst ProbeInstance) (time.Duration, bool)
+
+// FullMeshProber periodically probes every ordered pair of instances and
+// records the results, enabling the cloud provider to "prove innocence" by
+// demonstrating connectivity and performance between all service types.
+type FullMeshProber struct {
+	mu        sync.Mutex
+	instances []ProbeInstance
+	probe     ProbeFunc
+	results   []ProbeResult
+}
+
+// NewFullMeshProber returns a prober over the given instances.
+func NewFullMeshProber(instances []ProbeInstance, probe ProbeFunc) *FullMeshProber {
+	return &FullMeshProber{instances: instances, probe: probe}
+}
+
+// RunOnce probes all ordered pairs at the given virtual time.
+func (p *FullMeshProber) RunOnce(at time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, src := range p.instances {
+		for _, dst := range p.instances {
+			if src.ID == dst.ID {
+				continue
+			}
+			lat, ok := p.probe(src, dst)
+			p.results = append(p.results, ProbeResult{At: at, Src: src, Dst: dst, Latency: lat, OK: ok})
+		}
+	}
+}
+
+// Start schedules periodic full-mesh probing on the simulator until stop
+// returns true.
+func (p *FullMeshProber) Start(s *sim.Sim, interval time.Duration, stop func() bool) {
+	s.Every(interval, func() bool {
+		if stop() {
+			return false
+		}
+		p.RunOnce(s.Now())
+		return true
+	})
+}
+
+// Results returns a copy of all probe results.
+func (p *FullMeshProber) Results() []ProbeResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProbeResult, len(p.results))
+	copy(out, p.results)
+	return out
+}
+
+// Failures returns the results that did not succeed.
+func (p *FullMeshProber) Failures() []ProbeResult {
+	var out []ProbeResult
+	for _, r := range p.Results() {
+		if !r.OK {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// InnocenceProven reports whether every pair succeeded in the most recent
+// round — the condition under which the provider can attribute a tenant
+// complaint to the tenant's own service rather than cloud infra.
+func (p *FullMeshProber) InnocenceProven() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.results) == 0 {
+		return false
+	}
+	lastAt := p.results[len(p.results)-1].At
+	for i := len(p.results) - 1; i >= 0 && p.results[i].At == lastAt; i-- {
+		if !p.results[i].OK {
+			return false
+		}
+	}
+	return true
+}

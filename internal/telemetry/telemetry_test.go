@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"canalmesh/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	if c.Value() != 3.5 {
+		t.Errorf("Value = %v, want 3.5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on decrement")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Errorf("Value = %v, want 3", g.Value())
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {50, 50}, {90, 90}, {99, 99}, {100, 100}}
+	for _, tc := range tests {
+		if got := s.Percentile(tc.p); got != tc.want {
+			t.Errorf("P%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", s.Mean())
+	}
+	if s.Max() != 100 {
+		t.Errorf("Max = %v", s.Max())
+	}
+}
+
+func TestSampleInterleavedObserve(t *testing.T) {
+	var s Sample
+	s.Observe(10)
+	_ = s.Percentile(50) // force sort
+	s.Observe(1)         // must invalidate sorted state
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 after late observe = %v, want 1", got)
+	}
+}
+
+func TestSampleEmptyAndReset(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 {
+		t.Error("empty sample should return 0")
+	}
+	s.Observe(7)
+	s.Reset()
+	if s.Count() != 0 {
+		t.Error("Reset should clear")
+	}
+}
+
+func TestSampleDurations(t *testing.T) {
+	var s Sample
+	s.ObserveDuration(100 * time.Millisecond)
+	if got := s.PercentileDuration(50); got != 100*time.Millisecond {
+		t.Errorf("P50 = %v", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001) // 1ms
+	}
+	q := h.Quantile(0.5)
+	if q < 0.0005 || q > 0.002 {
+		t.Errorf("Q50 = %v, want ~1ms", q)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-0.001) > 1e-9 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramBimodal(t *testing.T) {
+	// The Fig 24 shape: modes at 40-50ms and 100-200ms must land in
+	// different buckets.
+	h := NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(0.045)
+		h.Observe(0.150)
+	}
+	bounds, counts := h.Buckets()
+	populated := 0
+	for _, c := range counts {
+		if c > 0 {
+			populated++
+		}
+	}
+	if populated != 2 {
+		t.Errorf("expected exactly 2 populated buckets, got %d (bounds %v counts %v)", populated, bounds, counts)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should return 0")
+	}
+}
+
+func TestSeriesWindowAndLast(t *testing.T) {
+	s := NewSeries("rps")
+	for i := 0; i <= 10; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i*10))
+	}
+	w := s.Window(3*time.Second, 6*time.Second)
+	if len(w) != 3 || w[0].V != 30 || w[2].V != 50 {
+		t.Errorf("Window = %v", w)
+	}
+	if s.Last().V != 100 {
+		t.Errorf("Last = %v", s.Last())
+	}
+	if got := s.Values(0, 2*time.Second); len(got) != 2 || got[1] != 10 {
+		t.Errorf("Values = %v", got)
+	}
+	if s.Name() != "rps" || s.Len() != 11 {
+		t.Error("Name/Len wrong")
+	}
+}
+
+func TestSeriesBackwardsTimePanics(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for backwards time")
+		}
+	}()
+	s.Append(0, 2)
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(a, up); math.Abs(c-1) > 1e-9 {
+		t.Errorf("corr(up) = %v, want 1", c)
+	}
+	if c := Correlation(a, down); math.Abs(c+1) > 1e-9 {
+		t.Errorf("corr(down) = %v, want -1", c)
+	}
+	if c := Correlation(a, []float64{3, 3, 3, 3, 3}); c != 0 {
+		t.Errorf("corr(const) = %v, want 0", c)
+	}
+	if c := Correlation(a, []float64{1}); c != 0 {
+		t.Errorf("corr(mismatched) = %v, want 0", c)
+	}
+}
+
+func TestCorrelationSymmetryProperty(t *testing.T) {
+	f := func(xs [8]int16, ys [8]int16) bool {
+		a, b := make([]float64, 8), make([]float64, 8)
+		for i := range xs {
+			a[i], b[i] = float64(xs[i]), float64(ys[i])
+		}
+		c1, c2 := Correlation(a, b), Correlation(b, a)
+		return math.Abs(c1-c2) < 1e-9 && c1 >= -1.0000001 && c1 <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var l AccessLog
+	l.Log(AccessEntry{Layer: AccessL4, Where: "node1", Tenant: "t1", Service: "web", Latency: time.Millisecond})
+	l.Log(AccessEntry{Layer: AccessL7, Where: "gw", Tenant: "t1", Service: "web", Method: "GET", Path: "/", Status: 200})
+	l.Log(AccessEntry{Layer: AccessL7, Where: "gw", Tenant: "t1", Service: "web", Method: "GET", Path: "/x", Status: 503})
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if n := l.CountStatus(503); n != 1 {
+		t.Errorf("CountStatus(503) = %d", n)
+	}
+	entries := l.Entries()
+	if entries[0].String() == "" || entries[1].String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestTraceTotal(t *testing.T) {
+	tr := Trace{ID: 1}
+	tr.Add("client", 0, 10*time.Millisecond)
+	tr.Add("gateway", 2*time.Millisecond, 8*time.Millisecond)
+	tr.Add("server", 3*time.Millisecond, 12*time.Millisecond)
+	if got := tr.Total(); got != 12*time.Millisecond {
+		t.Errorf("Total = %v, want 12ms", got)
+	}
+	empty := Trace{}
+	if empty.Total() != 0 {
+		t.Error("empty trace total should be 0")
+	}
+}
+
+func TestFullMeshProber(t *testing.T) {
+	instances := []ProbeInstance{
+		{ID: "a", AZ: "az1", Proto: ProtoHTTP},
+		{ID: "b", AZ: "az1", Proto: ProtoHTTPS},
+		{ID: "c", AZ: "az2", Proto: ProtoGRPC},
+	}
+	failDst := ""
+	p := NewFullMeshProber(instances, func(src, dst ProbeInstance) (time.Duration, bool) {
+		return time.Millisecond, dst.ID != failDst
+	})
+	p.RunOnce(0)
+	if got := len(p.Results()); got != 6 { // 3*2 ordered pairs
+		t.Fatalf("results = %d, want 6", got)
+	}
+	if !p.InnocenceProven() {
+		t.Error("all probes OK: innocence should be proven")
+	}
+	failDst = "c"
+	p.RunOnce(time.Second)
+	if p.InnocenceProven() {
+		t.Error("failed probes: innocence must not be proven")
+	}
+	if got := len(p.Failures()); got != 2 { // a->c and b->c
+		t.Errorf("failures = %d, want 2", got)
+	}
+}
+
+func TestFullMeshProberScheduled(t *testing.T) {
+	s := sim.New(1)
+	p := NewFullMeshProber([]ProbeInstance{{ID: "a"}, {ID: "b"}}, func(src, dst ProbeInstance) (time.Duration, bool) {
+		return time.Millisecond, true
+	})
+	rounds := 0
+	p.Start(s, time.Minute, func() bool { rounds++; return rounds > 3 })
+	s.Run()
+	if got := len(p.Results()); got != 6 { // 3 rounds * 2 pairs
+		t.Errorf("results = %d, want 6", got)
+	}
+}
+
+func TestFullMeshProberEmptyNotProven(t *testing.T) {
+	p := NewFullMeshProber(nil, nil)
+	if p.InnocenceProven() {
+		t.Error("no probes should mean no proof")
+	}
+}

@@ -1,0 +1,135 @@
+// Package tunnel implements session aggregation via tunneling (§4.4,
+// Fig. 9): the aggregator at the router encapsulates a large number of user
+// sessions into a few VXLAN tunnels toward each replica (outer DIP = replica
+// IP, outer SIP = router IP), so the memory-constrained SmartNIC session
+// table at the underlying server tracks tunnels instead of user sessions.
+// Different outer source ports spread the tunnels across the replica's CPU
+// cores via the vSwitch's RSS-style hashing.
+package tunnel
+
+import (
+	"fmt"
+	"net/netip"
+
+	"canalmesh/internal/cloud"
+	"canalmesh/internal/l4"
+	"canalmesh/internal/overlay"
+)
+
+// BasePort is the first outer source port used for tunnels.
+const BasePort = 50000
+
+// TunnelsPerCore is the recommended tunnel multiplicity per replica core
+// (§4.4: "an appropriate number of tunnels (e.g., 10 times the number of
+// cores)").
+const TunnelsPerCore = 10
+
+// Aggregator encapsulates inner sessions into per-replica tunnels.
+type Aggregator struct {
+	RouterIP netip.Addr
+	VNI      uint32
+	Tunnels  int // tunnels per replica
+	MTU      int // 0 disables the MTU check
+}
+
+// NewAggregator returns an aggregator creating `tunnels` tunnels per replica.
+func NewAggregator(routerIP netip.Addr, vni uint32, tunnels, mtu int) (*Aggregator, error) {
+	if tunnels <= 0 {
+		return nil, fmt.Errorf("tunnel: need at least one tunnel, got %d", tunnels)
+	}
+	if !routerIP.Is4() {
+		return nil, fmt.Errorf("tunnel: router IP must be IPv4, got %v", routerIP)
+	}
+	return &Aggregator{RouterIP: routerIP, VNI: vni, Tunnels: tunnels, MTU: mtu}, nil
+}
+
+// TunnelPort returns the outer source port (tunnel index) a session maps to.
+// The mapping is stable per flow so a session always uses the same tunnel
+// and therefore the same replica core.
+func (a *Aggregator) TunnelPort(k cloud.SessionKey) uint16 {
+	return BasePort + uint16(l4.Hash5Tuple(k)%uint64(a.Tunnels))
+}
+
+// OuterKey returns the session-table entry the underlying server tracks for
+// a packet of inner session k toward the replica: the tunnel's outer
+// 5-tuple. Only Tunnels distinct keys exist per replica, regardless of how
+// many inner sessions flow.
+func (a *Aggregator) OuterKey(k cloud.SessionKey, replicaIP netip.Addr) cloud.SessionKey {
+	return cloud.SessionKey{
+		SrcIP:   a.RouterIP.String(),
+		SrcPort: a.TunnelPort(k),
+		DstIP:   replicaIP.String(),
+		DstPort: overlayVXLANPort,
+		Proto:   17, // UDP
+	}
+}
+
+// overlayVXLANPort is the IANA VXLAN UDP port.
+const overlayVXLANPort = 4789
+
+// Encapsulate wraps an inner packet for delivery through the session-
+// aggregating tunnel. The returned bytes are what crosses the underlay.
+func (a *Aggregator) Encapsulate(in overlay.Inner, payload []byte) ([]byte, error) {
+	return overlay.Encapsulate(a.VNI, in, payload, a.MTU)
+}
+
+// Disaggregator strips tunnel encapsulation at the replica and assigns the
+// inner packet to a core.
+type Disaggregator struct {
+	Cores int
+}
+
+// NewDisaggregator returns a disaggregator spreading load over cores.
+func NewDisaggregator(cores int) (*Disaggregator, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("tunnel: replica needs at least one core, got %d", cores)
+	}
+	return &Disaggregator{Cores: cores}, nil
+}
+
+// Receive decapsulates one tunneled packet. The core assignment hashes the
+// outer source port — the vSwitch's behaviour — so tunnels, not inner
+// sessions, determine core placement.
+func (d *Disaggregator) Receive(pkt []byte, outerSPort uint16) (overlay.Inner, []byte, int, error) {
+	_, in, payload, err := overlay.Decapsulate(pkt)
+	if err != nil {
+		return overlay.Inner{}, nil, 0, fmt.Errorf("tunnel: decapsulating: %w", err)
+	}
+	core := int(outerSPort) % d.Cores
+	return in, payload, core, nil
+}
+
+// Accounting compares session-table pressure with and without aggregation.
+type Accounting struct {
+	InnerSessions  int // user sessions flowing to one replica
+	TunnelSessions int // outer sessions actually tracked
+}
+
+// Account returns the accounting for n inner sessions through the
+// aggregator toward one replica.
+func (a *Aggregator) Account(n int) Accounting {
+	t := a.Tunnels
+	if n < t {
+		t = n
+	}
+	return Accounting{InnerSessions: n, TunnelSessions: t}
+}
+
+// VMsForSessions returns how many VMs a deployment needs to hold `sessions`
+// concurrent sessions given the per-VM session capacity and a CPU-driven
+// floor (VMs needed for compute regardless of sessions). This is the
+// arithmetic behind Table 5's observation that session savings do not
+// translate 1:1 into VM savings.
+func VMsForSessions(sessions, perVMCapacity, cpuFloor int) int {
+	if perVMCapacity <= 0 {
+		panic("tunnel: per-VM session capacity must be positive")
+	}
+	vms := (sessions + perVMCapacity - 1) / perVMCapacity
+	if vms < cpuFloor {
+		vms = cpuFloor
+	}
+	if vms < 1 {
+		vms = 1
+	}
+	return vms
+}

@@ -1,0 +1,199 @@
+package tunnel
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"canalmesh/internal/cloud"
+	"canalmesh/internal/overlay"
+)
+
+func agg(t *testing.T, tunnels int) *Aggregator {
+	t.Helper()
+	a, err := NewAggregator(netip.MustParseAddr("100.64.0.1"), 42, tunnels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func innerKey(p uint16) cloud.SessionKey {
+	return cloud.SessionKey{SrcIP: "10.0.0.5", SrcPort: p, DstIP: "10.1.0.9", DstPort: 443, Proto: 6}
+}
+
+func TestNewAggregatorValidation(t *testing.T) {
+	if _, err := NewAggregator(netip.MustParseAddr("100.64.0.1"), 1, 0, 0); err == nil {
+		t.Error("zero tunnels must fail")
+	}
+	if _, err := NewAggregator(netip.MustParseAddr("::1"), 1, 4, 0); err == nil {
+		t.Error("IPv6 router must fail")
+	}
+}
+
+func TestTunnelPortStableAndInRange(t *testing.T) {
+	a := agg(t, 40)
+	for p := uint16(1); p < 500; p++ {
+		k := innerKey(p)
+		port := a.TunnelPort(k)
+		if port < BasePort || port >= BasePort+40 {
+			t.Fatalf("port %d out of range", port)
+		}
+		if a.TunnelPort(k) != port {
+			t.Fatal("tunnel mapping must be stable")
+		}
+	}
+}
+
+func TestSessionAggregationBound(t *testing.T) {
+	// The headline mechanism: hundreds of thousands of inner sessions
+	// collapse to at most `tunnels` outer sessions.
+	a := agg(t, 40)
+	replica := netip.MustParseAddr("100.64.1.7")
+	outer := map[cloud.SessionKey]bool{}
+	for p := uint16(1); p != 0; p++ { // 65535 inner sessions
+		outer[a.OuterKey(innerKey(p), replica)] = true
+	}
+	if len(outer) > 40 {
+		t.Errorf("outer sessions = %d, want <= 40", len(outer))
+	}
+	if len(outer) < 30 {
+		t.Errorf("outer sessions = %d; hash should populate most tunnels", len(outer))
+	}
+}
+
+func TestOuterKeyFields(t *testing.T) {
+	a := agg(t, 4)
+	replica := netip.MustParseAddr("100.64.1.7")
+	k := a.OuterKey(innerKey(1), replica)
+	if k.SrcIP != "100.64.0.1" || k.DstIP != "100.64.1.7" {
+		t.Errorf("outer IPs = %s -> %s", k.SrcIP, k.DstIP)
+	}
+	if k.DstPort != 4789 || k.Proto != 17 {
+		t.Errorf("outer dst port/proto = %d/%d, want VXLAN UDP", k.DstPort, k.Proto)
+	}
+}
+
+func TestEncapDecapRoundTrip(t *testing.T) {
+	a := agg(t, 4)
+	d, err := NewDisaggregator(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := overlay.Inner{
+		Src:     netip.MustParseAddr("10.0.0.5"),
+		Dst:     netip.MustParseAddr("10.1.0.9"),
+		SrcPort: 1234, DstPort: 443, Proto: 6,
+	}
+	payload := []byte("POST /checkout HTTP/1.1")
+	pkt, err := a.Encapsulate(in, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIn, gotPayload, core, err := d.Receive(pkt, a.TunnelPort(innerKey(1234)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIn != in || !bytes.Equal(gotPayload, payload) {
+		t.Error("inner packet corrupted through tunnel")
+	}
+	if core < 0 || core >= 8 {
+		t.Errorf("core = %d out of range", core)
+	}
+}
+
+func TestReceiveGarbage(t *testing.T) {
+	d, _ := NewDisaggregator(2)
+	if _, _, _, err := d.Receive([]byte{1, 2, 3}, BasePort); err == nil {
+		t.Error("garbage should fail to decapsulate")
+	}
+}
+
+func TestNewDisaggregatorValidation(t *testing.T) {
+	if _, err := NewDisaggregator(0); err == nil {
+		t.Error("zero cores must fail")
+	}
+}
+
+func TestCoreSpreading(t *testing.T) {
+	// 10x tunnels per core should spread tunnels roughly evenly over cores.
+	cores := 4
+	a := agg(t, cores*TunnelsPerCore)
+	d, _ := NewDisaggregator(cores)
+	counts := make([]int, cores)
+	for i := 0; i < a.Tunnels; i++ {
+		counts[int(BasePort+uint16(i))%d.Cores]++
+	}
+	for c, n := range counts {
+		if n != TunnelsPerCore {
+			t.Errorf("core %d gets %d tunnels, want %d", c, n, TunnelsPerCore)
+		}
+	}
+}
+
+func TestMTUEnforced(t *testing.T) {
+	a, err := NewAggregator(netip.MustParseAddr("100.64.0.1"), 1, 4, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := overlay.Inner{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		SrcPort: 1, DstPort: 2, Proto: 6,
+	}
+	if _, err := a.Encapsulate(in, make([]byte, 1480)); err == nil {
+		t.Error("encapsulation overhead should trip the 1500 MTU")
+	}
+	// The paper's fix: raise the device MTU.
+	a.MTU = 9000
+	if _, err := a.Encapsulate(in, make([]byte, 1480)); err != nil {
+		t.Errorf("jumbo frames should fit: %v", err)
+	}
+}
+
+func TestAccount(t *testing.T) {
+	a := agg(t, 40)
+	acc := a.Account(250_000)
+	if acc.TunnelSessions != 40 || acc.InnerSessions != 250_000 {
+		t.Errorf("accounting = %+v", acc)
+	}
+	few := a.Account(5)
+	if few.TunnelSessions != 5 {
+		t.Errorf("fewer sessions than tunnels: %+v", few)
+	}
+}
+
+func TestVMsForSessions(t *testing.T) {
+	// 900k sessions at 100k/VM: 9 VMs for sessions even if CPU needs 2.
+	if got := VMsForSessions(900_000, 100_000, 2); got != 9 {
+		t.Errorf("VMs = %d, want 9", got)
+	}
+	// After aggregation sessions collapse, but the CPU floor holds: the
+	// Table 5 caveat that savings are not proportional.
+	if got := VMsForSessions(40, 100_000, 2); got != 2 {
+		t.Errorf("VMs = %d, want CPU floor 2", got)
+	}
+	if got := VMsForSessions(0, 100_000, 0); got != 1 {
+		t.Errorf("VMs = %d, want minimum 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero capacity")
+		}
+	}()
+	VMsForSessions(1, 0, 1)
+}
+
+func TestTunnelDistributionAcrossManyFlows(t *testing.T) {
+	a := agg(t, 16)
+	counts := map[uint16]int{}
+	for i := 0; i < 16000; i++ {
+		k := cloud.SessionKey{SrcIP: fmt.Sprintf("10.0.%d.%d", i/250, i%250), SrcPort: uint16(i), DstIP: "10.1.0.1", DstPort: 443, Proto: 6}
+		counts[a.TunnelPort(k)]++
+	}
+	for port, n := range counts {
+		if n < 500 || n > 1500 {
+			t.Errorf("tunnel %d carries %d of 16000 flows; poor balance", port, n)
+		}
+	}
+}

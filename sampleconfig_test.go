@@ -1,0 +1,20 @@
+package canal
+
+import "testing"
+
+func TestSampleConfigFileParses(t *testing.T) {
+	cfg, err := LoadConfigFile("testdata/gateway.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tenants) != 2 {
+		t.Fatalf("tenants = %d", len(cfg.Tenants))
+	}
+	for _, tn := range cfg.Tenants {
+		for _, s := range tn.Services {
+			if _, _, err := s.Build(); err != nil {
+				t.Errorf("%s/%s: %v", tn.Name, s.Name, err)
+			}
+		}
+	}
+}

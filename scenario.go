@@ -1,0 +1,228 @@
+package canal
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"canalmesh/internal/anomaly"
+	"canalmesh/internal/cloud"
+	"canalmesh/internal/gateway"
+	"canalmesh/internal/l7"
+	"canalmesh/internal/netmodel"
+	"canalmesh/internal/scaling"
+	"canalmesh/internal/sim"
+	"canalmesh/internal/workload"
+)
+
+// Scenario is the public facade over the discrete-event simulation: build a
+// region, provision gateway backends, register tenant services, drive load,
+// inject failures, and observe the mesh's availability/elasticity machinery
+// — the same substrate cmd/canalbench uses to regenerate the paper.
+//
+// All time is virtual: a Scenario with hours of traffic runs in milliseconds
+// and is fully deterministic for a given seed.
+type Scenario struct {
+	sim     *sim.Sim
+	region  *cloud.Region
+	gw      *gateway.Gateway
+	planner *scaling.Planner
+	monitor *anomaly.Monitor
+	end     time.Duration
+}
+
+// ScenarioConfig sizes a scenario.
+type ScenarioConfig struct {
+	Seed            int64
+	AZs             []string // default: az1, az2
+	ShardSize       int      // backends per service (default 3)
+	Backends        int      // regular backends, spread over AZs (default 6)
+	ReplicasPerBE   int      // default 2
+	CoresPerReplica int      // default 2
+	Sandboxes       int      // default 1
+}
+
+// NewScenario builds a ready-to-use simulated region + gateway.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	if len(cfg.AZs) == 0 {
+		cfg.AZs = []string{"az1", "az2"}
+	}
+	if cfg.Backends <= 0 {
+		cfg.Backends = 6
+	}
+	if cfg.ReplicasPerBE <= 0 {
+		cfg.ReplicasPerBE = 2
+	}
+	if cfg.CoresPerReplica <= 0 {
+		cfg.CoresPerReplica = 2
+	}
+	if cfg.Sandboxes < 0 {
+		cfg.Sandboxes = 0
+	} else if cfg.Sandboxes == 0 {
+		cfg.Sandboxes = 1
+	}
+	s := sim.New(cfg.Seed)
+	region := cloud.NewRegion(s, "region-1", cfg.AZs...)
+	g := gateway.New(gateway.Config{
+		Sim: s, Costs: netmodel.Default(), Engine: l7.NewEngine(cfg.Seed),
+		ShardSize: cfg.ShardSize, Seed: cfg.Seed,
+	})
+	for i := 0; i < cfg.Backends; i++ {
+		az := region.AZ(cfg.AZs[i%len(cfg.AZs)])
+		if _, err := g.AddBackend(az, cfg.ReplicasPerBE, cfg.CoresPerReplica, false); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Sandboxes; i++ {
+		if _, err := g.AddBackend(region.AZ(cfg.AZs[0]), cfg.ReplicasPerBE, cfg.CoresPerReplica, true); err != nil {
+			return nil, err
+		}
+	}
+	sc := &Scenario{sim: s, region: region, gw: g}
+	sc.planner = scaling.NewPlanner(s, g, region, scaling.DefaultOptions())
+	sc.monitor = anomaly.NewMonitor(s, g, sc.planner, anomaly.DefaultThresholds())
+	return sc, nil
+}
+
+// Service is a handle to one registered tenant service in a scenario.
+type Service struct {
+	sc *Scenario
+	st *gateway.ServiceState
+}
+
+// RegisterService installs a tenant service with its L7 configuration.
+// Distinct tenants may reuse identical addresses (overlapping VPCs); the
+// VNI keeps them apart.
+func (sc *Scenario) RegisterService(tenant, name string, vni uint32, addr string, cfg ServiceConfig) (*Service, error) {
+	ip, err := netip.ParseAddr(addr)
+	if err != nil {
+		return nil, fmt.Errorf("canal: service address: %w", err)
+	}
+	st, err := sc.gw.RegisterService(tenant, name, vni, ip, 80, false, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{sc: sc, st: st}, nil
+}
+
+// RunFor executes the scenario for the given virtual duration, with
+// per-backend sampling and the anomaly monitor active.
+func (sc *Scenario) RunFor(d time.Duration) {
+	sc.end = sc.sim.Now() + d
+	sc.gw.StartSampling(func() bool { return sc.sim.Now() > sc.end })
+	sc.monitor.Start(func() bool { return sc.sim.Now() > sc.end })
+	sc.sim.RunUntil(sc.end)
+	sc.sim.Run() // drain stragglers (completions, migrations)
+}
+
+// Now returns the current virtual time.
+func (sc *Scenario) Now() time.Duration { return sc.sim.Now() }
+
+// TrafficStats summarizes one service's drive results.
+type TrafficStats struct {
+	ByStatus map[int]*int
+	// P50, P99 are filled from the service's recorded latencies after
+	// RunFor completes.
+	service *gateway.ServiceState
+}
+
+// Drive offers constantRPS request/s to the service from the named AZ for
+// dur. It returns live counters by HTTP status.
+func (svc *Service) Drive(fromAZ string, constantRPS float64, dur time.Duration) *TrafficStats {
+	return svc.DriveRate(fromAZ, workload.Constant(constantRPS), dur)
+}
+
+// DriveSpike offers base RPS with a surge to peak during [start, start+spike).
+func (svc *Service) DriveSpike(fromAZ string, base, peak float64, start, spike, dur time.Duration) *TrafficStats {
+	return svc.DriveRate(fromAZ, workload.Spike(base, peak, start, spike), dur)
+}
+
+// DriveRate drives an arbitrary RPS curve.
+func (svc *Service) DriveRate(fromAZ string, rate func(time.Duration) float64, dur time.Duration) *TrafficStats {
+	stats := &TrafficStats{ByStatus: map[int]*int{}, service: svc.st}
+	i := int(svc.st.ID) << 18
+	end := svc.sc.sim.Now() + dur
+	workload.OpenLoop(svc.sc.sim, rate, 10*time.Millisecond, end, func() {
+		i++
+		flow := cloud.SessionKey{
+			SrcIP: "10.0.0.2", SrcPort: uint16(i%60000 + 1),
+			DstIP: svc.st.Addr.String(), DstPort: 80, Proto: 6,
+		}
+		svc.sc.gw.Dispatch(svc.st.ID, fromAZ, flow, &Request{Method: "GET", Path: "/", BodyBytes: 1024}, 1,
+			func(_ time.Duration, status int) {
+				p := stats.ByStatus[status]
+				if p == nil {
+					p = new(int)
+					stats.ByStatus[status] = p
+				}
+				*p++
+			})
+	})
+	return stats
+}
+
+// Count returns the tally for a status code.
+func (t *TrafficStats) Count(status int) int {
+	if p := t.ByStatus[status]; p != nil {
+		return *p
+	}
+	return 0
+}
+
+// LatencyP returns the service's p-th latency percentile observed so far.
+func (t *TrafficStats) LatencyP(p float64) time.Duration {
+	return t.service.Latency.PercentileDuration(p)
+}
+
+// Sandboxed reports whether the service has been isolated.
+func (svc *Service) Sandboxed() bool { return svc.st.Sandboxed }
+
+// Backends returns the IDs of the service's backends.
+func (svc *Service) Backends() []string {
+	out := make([]string, 0, len(svc.st.Backends))
+	for _, b := range svc.st.Backends {
+		out = append(out, b.ID)
+	}
+	return out
+}
+
+// SetSessions sets the service's live-session gauge (the signal the attack
+// detector watches).
+func (svc *Service) SetSessions(n int) { svc.st.Sessions = n }
+
+// Throttle rate-limits the service at the gateway; rps <= 0 removes it.
+func (svc *Service) Throttle(rps, burst float64) error {
+	return svc.sc.gw.Throttle(svc.st.ID, rps, burst)
+}
+
+// FailAZ downs every VM in a zone at the given virtual time.
+func (sc *Scenario) FailAZ(az string, at time.Duration) error {
+	zone := sc.region.AZ(az)
+	if zone == nil {
+		return fmt.Errorf("canal: unknown AZ %q", az)
+	}
+	sc.sim.At(at, func() { zone.FailAZ() })
+	return nil
+}
+
+// RecoverAZ restores a zone at the given virtual time.
+func (sc *Scenario) RecoverAZ(az string, at time.Duration) error {
+	zone := sc.region.AZ(az)
+	if zone == nil {
+		return fmt.Errorf("canal: unknown AZ %q", az)
+	}
+	sc.sim.At(at, func() { zone.RecoverAZ() })
+	return nil
+}
+
+// ScalingOps returns the number of precise-scaling operations performed.
+func (sc *Scenario) ScalingOps() int { return len(sc.planner.Events()) }
+
+// Interventions returns human-readable records of the monitor's actions.
+func (sc *Scenario) Interventions() []string {
+	var out []string
+	for _, a := range sc.monitor.Actions() {
+		out = append(out, fmt.Sprintf("%v %s on service %d (%s)", a.At, a.Action, a.Service, a.Reason))
+	}
+	return out
+}

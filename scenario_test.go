@@ -1,0 +1,162 @@
+package canal
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func newScenario(t *testing.T, cfg ScenarioConfig) *Scenario {
+	t.Helper()
+	sc, err := NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestScenarioBasicTraffic(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 1})
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := svc.Drive("az1", 200, 10*time.Second)
+	sc.RunFor(12 * time.Second)
+	if got := stats.Count(200); got < 1900 || got > 2100 {
+		t.Errorf("successes = %d, want ~2000", got)
+	}
+	if stats.LatencyP(99) <= 0 || stats.LatencyP(99) > 10*time.Millisecond {
+		t.Errorf("P99 = %v", stats.LatencyP(99))
+	}
+	if len(svc.Backends()) == 0 {
+		t.Error("service should have backends")
+	}
+}
+
+func TestScenarioOverlappingTenants(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 2})
+	a, err := sc.RegisterService("t1", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.RegisterService("t2", "web", 200, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := a.Drive("az1", 100, 5*time.Second)
+	sb := b.Drive("az1", 100, 5*time.Second)
+	sc.RunFor(6 * time.Second)
+	if sa.Count(200) == 0 || sb.Count(200) == 0 {
+		t.Error("both tenants should be served despite identical addresses")
+	}
+}
+
+func TestScenarioAZFailover(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 3})
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := svc.Drive("az1", 200, 30*time.Second)
+	if err := sc.FailAZ("az1", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.RecoverAZ("az1", 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sc.RunFor(32 * time.Second)
+	total := stats.Count(200) + stats.Count(503)
+	if total == 0 {
+		t.Fatal("no traffic")
+	}
+	// Cross-AZ failover keeps the service up through the outage.
+	if frac := float64(stats.Count(200)) / float64(total); frac < 0.99 {
+		t.Errorf("success fraction %.3f; hierarchical failover should absorb the AZ outage", frac)
+	}
+	if err := sc.FailAZ("nope", 0); err == nil {
+		t.Error("unknown AZ should error")
+	}
+}
+
+func TestScenarioThrottle(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 4})
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Throttle(50, 50); err != nil {
+		t.Fatal(err)
+	}
+	stats := svc.Drive("az1", 500, 10*time.Second)
+	sc.RunFor(11 * time.Second)
+	if stats.Count(429) == 0 {
+		t.Error("throttle should reject excess traffic")
+	}
+	ok := stats.Count(200)
+	if ok < 400 || ok > 700 {
+		t.Errorf("admitted = %d, want ~500 (50 RPS x 10s + burst)", ok)
+	}
+}
+
+func TestScenarioAutoScalesHotService(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 5, ReplicasPerBE: 1, Backends: 8})
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Surge past one backend's capacity; the built-in monitor + planner
+	// should scale it.
+	svc.DriveSpike("az1", 300, 12000, 10*time.Second, 50*time.Second, 60*time.Second)
+	sc.RunFor(65 * time.Second)
+	if sc.ScalingOps() == 0 {
+		t.Errorf("monitor should have scaled the hot service; interventions: %v", sc.Interventions())
+	}
+	found := false
+	for _, line := range sc.Interventions() {
+		if strings.Contains(line, "scale") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a scale intervention, got %v", sc.Interventions())
+	}
+	if svc.Sandboxed() {
+		t.Error("normal growth must not sandbox")
+	}
+}
+
+func TestScenarioAttackSandboxed(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 6})
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Drive("az1", 200, 40*time.Second)
+	svc.SetSessions(500)
+	// Session flood without matching RPS growth: the attack signature.
+	grow := func() {}
+	grow = func() {
+		if !svc.Sandboxed() {
+			svc.SetSessions(svc.st.Sessions + 8000)
+		}
+		if sc.Now() < 30*time.Second {
+			sc.sim.After(time.Second, grow)
+		}
+	}
+	sc.sim.After(10*time.Second, grow)
+	sc.RunFor(45 * time.Second)
+	if !svc.Sandboxed() {
+		t.Errorf("session flood should be sandboxed; interventions: %v", sc.Interventions())
+	}
+}
+
+func TestScenarioDefaultsAndErrors(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{})
+	if _, err := sc.RegisterService("t", "s", 1, "not-an-ip", ServiceConfig{DefaultSubset: "v1"}); err == nil {
+		t.Error("bad address should error")
+	}
+	if _, err := sc.RegisterService("t", "s", 1, "10.0.0.1", ServiceConfig{DefaultSubset: "v1"}); err != nil {
+		t.Errorf("defaults should produce a working scenario: %v", err)
+	}
+}
