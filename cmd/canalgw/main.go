@@ -18,16 +18,21 @@ import (
 	"net/http"
 
 	canal "canalmesh"
+	"canalmesh/internal/admission"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "gateway listen address")
 	demo := flag.Bool("demo", true, "start demo tenant and upstreams")
 	configPath := flag.String("config", "", "JSON deployment config (tenants/services/pools); see testdata/gateway.json")
+	admit := flag.Bool("admission", false, "enable adaptive admission control (AIMD concurrency limit, per-tenant fair shares, retry budgets); a config file's admission block overrides this")
 	flag.Parse()
 
 	gw := canal.NewGatewayServer(1)
 	gw.RequireAuth = true
+	if *admit {
+		gw.EnableAdmission(admission.Config{})
+	}
 
 	if *configPath != "" {
 		cfg, err := canal.LoadConfigFile(*configPath)

@@ -5,6 +5,7 @@
 //	canalsim failover         # replica/backend/AZ failure recovery (Fig 8)
 //	canalsim attack           # session-flood detection and lossy migration (§6.2)
 //	canalsim scatter          # in-phase service scattering (§6.3)
+//	canalsim flash-crowd      # admission control off vs on under a 5x crowd
 package main
 
 import (
@@ -26,12 +27,14 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter>")
+		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd>")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
 	case "noisy-neighbor":
 		fmt.Println(bench.Fig16NoisyNeighbor().String())
+	case "flash-crowd":
+		fmt.Println(bench.AdmissionFlashCrowd().String())
 	case "failover":
 		failover()
 	case "attack":

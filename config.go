@@ -6,13 +6,55 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"canalmesh/internal/admission"
 )
 
 // FileConfig is the JSON deployment configuration cmd/canalgw loads: the
 // tenants the gateway serves, each with its services, routing rules, and
-// upstream pools. See testdata/gateway.json for a complete example.
+// upstream pools, plus optional gateway-wide admission control. See
+// testdata/gateway.json for a complete example.
 type FileConfig struct {
-	Tenants []TenantConfig `json:"tenants"`
+	Tenants   []TenantConfig       `json:"tenants"`
+	Admission *AdmissionFileConfig `json:"admission,omitempty"`
+}
+
+// AdmissionFileConfig is the JSON form of the gateway's proactive
+// overload-control layer (internal/admission). All numeric fields are
+// optional; zeros take the package defaults.
+type AdmissionFileConfig struct {
+	Enabled bool `json:"enabled"`
+	// TargetMS / IntervalMS tune CoDel-style queue management.
+	TargetMS   float64 `json:"target_ms,omitempty"`
+	IntervalMS float64 `json:"interval_ms,omitempty"`
+	// Weights biases per-tenant fair shares (default weight 1).
+	Weights map[string]float64 `json:"weights,omitempty"`
+	// Limiter bounds for the adaptive AIMD concurrency limit.
+	InitialLimit int     `json:"initial_limit,omitempty"`
+	MinLimit     int     `json:"min_limit,omitempty"`
+	MaxLimit     int     `json:"max_limit,omitempty"`
+	Tolerance    float64 `json:"tolerance,omitempty"`
+	// RetryBudgetRatio is the allowed ratio of retries to successes.
+	RetryBudgetRatio float64 `json:"retry_budget_ratio,omitempty"`
+	// RetryAfterMS is the hint returned with 429 rejections.
+	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
+}
+
+// Build converts the file entry into an admission.Config.
+func (a *AdmissionFileConfig) Build() admission.Config {
+	return admission.Config{
+		Target:   time.Duration(a.TargetMS * float64(time.Millisecond)),
+		Interval: time.Duration(a.IntervalMS * float64(time.Millisecond)),
+		Weights:  a.Weights,
+		Limiter: admission.LimiterConfig{
+			InitialLimit: a.InitialLimit,
+			MinLimit:     a.MinLimit,
+			MaxLimit:     a.MaxLimit,
+			Tolerance:    a.Tolerance,
+		},
+		RetryBudgetRatio: a.RetryBudgetRatio,
+		RetryAfter:       time.Duration(a.RetryAfterMS * float64(time.Millisecond)),
+	}
 }
 
 // TenantConfig declares one tenant and its services.
@@ -198,9 +240,12 @@ func (s ServiceFileEntry) Build() (ServiceConfig, map[string][]string, error) {
 }
 
 // Apply provisions a gateway from the file configuration: one CA per tenant
-// (returned so operators can issue workload identities) and every service's
-// routing + pools.
+// (returned so operators can issue workload identities), every service's
+// routing + pools, and the admission layer when the config enables it.
 func (c *FileConfig) Apply(gw *GatewayServer) (map[string]*CA, error) {
+	if c.Admission != nil && c.Admission.Enabled {
+		gw.EnableAdmission(c.Admission.Build())
+	}
 	cas := make(map[string]*CA, len(c.Tenants))
 	for _, t := range c.Tenants {
 		ca, err := NewCA(t.Name + "-ca")

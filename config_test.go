@@ -179,3 +179,65 @@ func TestLoadConfigFileMissing(t *testing.T) {
 		t.Error("missing file should error")
 	}
 }
+
+func TestLoadConfigAdmissionBlock(t *testing.T) {
+	const admissionConfig = `{
+  "admission": {
+    "enabled": true,
+    "target_ms": 5,
+    "interval_ms": 100,
+    "min_limit": 4,
+    "max_limit": 256,
+    "tolerance": 3,
+    "weights": {"acme": 2},
+    "retry_budget_ratio": 0.2,
+    "retry_after_ms": 100
+  },
+  "tenants": [
+    {
+      "name": "acme",
+      "services": [
+        {"name": "web", "default_subset": "v1", "pools": {"v1": ["http://127.0.0.1:1"]}}
+      ]
+    }
+  ]
+}`
+	cfg, err := LoadConfig(strings.NewReader(admissionConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Admission == nil || !cfg.Admission.Enabled {
+		t.Fatalf("admission block = %+v", cfg.Admission)
+	}
+	built := cfg.Admission.Build()
+	if built.Target.Milliseconds() != 5 || built.Interval.Milliseconds() != 100 {
+		t.Errorf("codel knobs = %v/%v", built.Target, built.Interval)
+	}
+	if built.Limiter.MinLimit != 4 || built.Limiter.MaxLimit != 256 || built.Limiter.Tolerance != 3 {
+		t.Errorf("limiter knobs = %+v", built.Limiter)
+	}
+	if built.Weights["acme"] != 2 || built.RetryBudgetRatio != 0.2 || built.RetryAfter.Milliseconds() != 100 {
+		t.Errorf("built = %+v", built)
+	}
+
+	gw := NewGatewayServer(1)
+	if _, err := cfg.Apply(gw); err != nil {
+		t.Fatal(err)
+	}
+	if gw.AdmissionMetrics() == nil {
+		t.Error("Apply should enable admission when the block says enabled")
+	}
+
+	// Without the block (or with enabled=false) the layer stays off.
+	plain, err := LoadConfig(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw2 := NewGatewayServer(1)
+	if _, err := plain.Apply(gw2); err != nil {
+		t.Fatal(err)
+	}
+	if gw2.AdmissionMetrics() != nil {
+		t.Error("admission enabled without a config block")
+	}
+}

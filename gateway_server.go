@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"canalmesh/internal/admission"
 	"canalmesh/internal/l7"
 	"canalmesh/internal/telemetry"
 )
@@ -32,6 +33,9 @@ const (
 	HeaderSignature = "X-Canal-Signature"
 	HeaderTimestamp = "X-Canal-Timestamp"
 	HeaderSubset    = "X-Canal-Subset" // set by the gateway toward upstreams
+	// HeaderRetry marks a request as a retry; the admission layer charges
+	// it against the tenant's retry budget.
+	HeaderRetry = "X-Canal-Retry"
 )
 
 // authSkew is the accepted clock skew for signed requests.
@@ -48,6 +52,7 @@ type GatewayServer struct {
 	rr        map[string]int                   // round-robin cursors
 	start     time.Time
 	log       *telemetry.AccessLog
+	admit     *admission.HTTPController
 	// RequireAuth demands a valid identity signature on every request.
 	RequireAuth bool
 }
@@ -66,6 +71,28 @@ func NewGatewayServer(seed int64) *GatewayServer {
 
 // AccessLog exposes the gateway's L7 access log.
 func (g *GatewayServer) AccessLog() *telemetry.AccessLog { return g.log }
+
+// EnableAdmission turns on proactive overload control for the real data
+// path: a gateway-wide adaptive concurrency limit, per-tenant fair-share
+// caps inside it, and per-tenant retry budgets. Shed requests get fast typed
+// 429s with a Retry-After hint instead of queueing behind an overloaded
+// proxy.
+func (g *GatewayServer) EnableAdmission(cfg admission.Config) {
+	g.mu.Lock()
+	g.admit = admission.NewHTTPController(cfg)
+	g.mu.Unlock()
+}
+
+// AdmissionMetrics returns the admission layer's metrics, or nil when
+// disabled.
+func (g *GatewayServer) AdmissionMetrics() *admission.Metrics {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.admit == nil {
+		return nil
+	}
+	return g.admit.Metrics()
+}
 
 // RegisterTenant installs a tenant's trust domain.
 func (g *GatewayServer) RegisterTenant(tenant string, ca *CA) {
@@ -182,6 +209,21 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		source = shortID(id)
 	}
 
+	g.mu.RLock()
+	admit := g.admit
+	g.mu.RUnlock()
+	proxied := false
+	if admit != nil {
+		release, rej := admit.Admit(tenant, service, r.Header.Get(HeaderRetry) != "")
+		if rej != nil {
+			g.logReq(r, tenant, service, source, http.StatusTooManyRequests, started)
+			w.Header().Set("Retry-After", strconv.FormatFloat(rej.RetryAfter.Seconds(), 'f', -1, 64))
+			http.Error(w, "canal: "+rej.Error(), http.StatusTooManyRequests)
+			return
+		}
+		defer func() { release(proxied) }()
+	}
+
 	req := &Request{
 		Tenant:        tenant,
 		Service:       serviceKey(tenant, service),
@@ -243,10 +285,12 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			out.Header.Set(HeaderSubset, decision.Subset)
 		},
 		ErrorHandler: func(w http.ResponseWriter, _ *http.Request, err error) {
+			proxied = false
 			g.logReq(r, tenant, service, source, http.StatusBadGateway, started)
 			http.Error(w, "canal: upstream: "+err.Error(), http.StatusBadGateway)
 		},
 	}
+	proxied = true
 	proxy.ServeHTTP(w, r)
 	g.logReq(r, tenant, service, source, http.StatusOK, started)
 }

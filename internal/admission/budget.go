@@ -1,0 +1,59 @@
+package admission
+
+import "sync"
+
+// RetryBudget bounds retry amplification Finagle-style: each success earns
+// Ratio tokens (capped at Max), each retry spends one. When the budget is
+// empty retries are shed immediately — under overload the retry rate decays
+// to Ratio of the success rate instead of multiplying the offered load.
+//
+// RetryBudget is safe for concurrent use.
+type RetryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	max    float64
+	tokens float64
+}
+
+// NewRetryBudget returns a budget earning ratio tokens per success, holding
+// at most max tokens. Non-positive arguments take the package defaults
+// (DefaultRetryBudgetRatio, 10 tokens).
+func NewRetryBudget(ratio, max float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = DefaultRetryBudgetRatio
+	}
+	if max <= 0 {
+		max = 10
+	}
+	// Start with a full budget so cold-start retries are not unfairly
+	// punished before any successes accrue.
+	return &RetryBudget{ratio: ratio, max: max, tokens: max}
+}
+
+// OnSuccess credits the budget for one successful request.
+func (b *RetryBudget) OnSuccess() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Allow consumes one token for a retry, reporting whether it may proceed.
+func (b *RetryBudget) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current token balance.
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

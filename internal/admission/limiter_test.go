@@ -1,0 +1,121 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// step feeds the limiter rounds of saturated traffic at a fixed observed
+// latency and returns the limit trajectory.
+func step(l *Limiter, now *time.Duration, lat time.Duration, rounds int) {
+	for i := 0; i < rounds; i++ {
+		*now += time.Millisecond
+		// Fill to the limit, then release everything at the observed
+		// latency — a saturated service.
+		var held int
+		for l.Acquire(*now) {
+			held++
+		}
+		for j := 0; j < held; j++ {
+			l.Release(*now, lat, true)
+		}
+	}
+}
+
+// TestLimiterGrowsWhenHealthy: a saturated limiter whose latency sits at
+// baseline must probe its limit upward (additive increase).
+func TestLimiterGrowsWhenHealthy(t *testing.T) {
+	l := NewLimiter(LimiterConfig{InitialLimit: 4})
+	var now time.Duration
+	step(l, &now, time.Millisecond, 2000)
+	if l.Limit() <= 4 {
+		t.Fatalf("limit did not grow under healthy saturated load: %.1f", l.Limit())
+	}
+}
+
+// TestLimiterShedsOnLatency: once latency exceeds tolerance x baseline the
+// limit must decrease multiplicatively, and Acquire must start failing when
+// inflight reaches it.
+func TestLimiterShedsOnLatency(t *testing.T) {
+	l := NewLimiter(LimiterConfig{InitialLimit: 64, MinLimit: 2, Tolerance: 2})
+	var now time.Duration
+	step(l, &now, time.Millisecond, 100) // learn ~1ms baseline
+	before := l.Limit()
+	step(l, &now, 10*time.Millisecond, 3000) // overload: 10x baseline
+	if l.Limit() >= before {
+		t.Fatalf("limit did not back off under 10x latency: %.1f -> %.1f", before, l.Limit())
+	}
+	// With inflight at the limit, new work is refused.
+	var held int
+	for l.Acquire(now) {
+		held++
+	}
+	if l.Acquire(now) {
+		t.Fatal("Acquire succeeded above the limit")
+	}
+	for i := 0; i < held; i++ {
+		l.Release(now, time.Millisecond, true)
+	}
+}
+
+// TestLimiterConvergesAfterBaselineShift is the satellite-mandated test: the
+// service's true latency shifts permanently from 1ms to 3ms. The limiter
+// first treats 3ms as congestion and backs off, but the windowed-minimum
+// EWMA baseline must track the new floor, after which the limit recovers —
+// the limiter converges instead of throttling forever against a stale
+// baseline.
+func TestLimiterConvergesAfterBaselineShift(t *testing.T) {
+	l := NewLimiter(LimiterConfig{InitialLimit: 16, MinLimit: 2, Tolerance: 2})
+	var now time.Duration
+
+	step(l, &now, time.Millisecond, 3000)
+	if b := l.Baseline(); b < 0.0009 || b > 0.0011 {
+		t.Fatalf("baseline after phase 1 = %v, want ~1ms", b)
+	}
+	healthy := l.Limit()
+
+	// Latency shifts to 3ms for good. Immediately after the shift the
+	// limiter backs off...
+	step(l, &now, 3*time.Millisecond, 500)
+	dipped := l.Limit()
+	if dipped >= healthy {
+		t.Fatalf("limit did not dip after baseline shift: %.1f -> %.1f", healthy, dipped)
+	}
+
+	// ...but after enough windows the baseline converges to ~3ms and the
+	// limit grows again.
+	step(l, &now, 3*time.Millisecond, 30_000)
+	if b := l.Baseline(); b < 0.0025 {
+		t.Fatalf("baseline did not converge to the new 3ms floor: %v", b)
+	}
+	if l.Limit() <= dipped {
+		t.Fatalf("limit did not recover after baseline converged: dipped %.1f, now %.1f", dipped, l.Limit())
+	}
+}
+
+// TestRetryBudget: retries are allowed while the budget holds and shed once
+// it is exhausted; successes replenish it at the configured ratio.
+func TestRetryBudget(t *testing.T) {
+	b := NewRetryBudget(0.25, 5)
+	// Drain the initial allowance.
+	allowed := 0
+	for b.Allow() {
+		allowed++
+	}
+	if allowed != 5 {
+		t.Fatalf("initial budget allowed %d retries, want 5", allowed)
+	}
+	if b.Allow() {
+		t.Fatal("retry allowed on an empty budget")
+	}
+	// Four successes at ratio 0.25 earn one retry token.
+	for i := 0; i < 4; i++ {
+		b.OnSuccess()
+	}
+	if !b.Allow() {
+		t.Fatal("retry refused after budget replenished")
+	}
+	if b.Allow() {
+		t.Fatal("second retry allowed; only one token was earned")
+	}
+}

@@ -1,0 +1,184 @@
+package admission
+
+import (
+	"time"
+
+	"canalmesh/internal/sim"
+)
+
+// tenantQueue is one tenant's FIFO at one replica, with its WDRR deficit and
+// CoDel state. items is a sliding-window slice: head indexes the front so
+// pops are O(1) without reallocating.
+type tenantQueue struct {
+	tenant  string
+	items   []*sim.Work
+	head    int
+	deficit time.Duration
+	weight  float64
+	codel   *CoDel
+	active  bool
+}
+
+func (q *tenantQueue) len() int { return len(q.items) - q.head }
+
+func (q *tenantQueue) push(w *sim.Work) { q.items = append(q.items, w) }
+
+func (q *tenantQueue) peek() *sim.Work { return q.items[q.head] }
+
+func (q *tenantQueue) pop() *sim.Work {
+	w := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return w
+}
+
+// Queue is a weighted deficit-round-robin scheduler over per-tenant FIFOs
+// with per-tenant CoDel — fq_codel applied to gateway requests. It implements
+// sim.QueueDiscipline, so a gateway replica's Processor consults it whenever
+// all cores are busy: one tenant's flash crowd piles up in that tenant's own
+// queue (and gets CoDel-shed once its sojourn stands above target) while
+// other tenants' requests keep flowing at their weighted share of the CPU.
+//
+// Queue is not safe for concurrent use; in the simulator a single event loop
+// owns it, and each instance belongs to exactly one replica.
+type Queue struct {
+	cfg     Config
+	metrics *Metrics
+	byName  map[string]*tenantQueue
+	ring    []*tenantQueue // active tenant queues, round-robin order
+	cur     int            // ring index currently being served
+	fresh   bool           // true when cur just arrived at a queue (owed its quantum)
+	size    int
+}
+
+// NewQueue returns a WDRR+CoDel queue with the given config. metrics may be
+// nil.
+func NewQueue(cfg Config, metrics *Metrics) *Queue {
+	return &Queue{
+		cfg:     cfg.WithDefaults(),
+		metrics: metrics,
+		byName:  make(map[string]*tenantQueue),
+	}
+}
+
+// Len implements sim.QueueDiscipline.
+func (q *Queue) Len() int { return q.size }
+
+// TenantDepth returns the named tenant's current queue depth.
+func (q *Queue) TenantDepth(tenant string) int {
+	if tq, ok := q.byName[q.key(tenant)]; ok {
+		return tq.len()
+	}
+	return 0
+}
+
+func (q *Queue) key(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// Enqueue implements sim.QueueDiscipline: the work joins its tenant's FIFO
+// unless that FIFO is at its cap, in which case the work is rejected and the
+// caller sheds it immediately (fast typed rejection, no sojourn wasted).
+func (q *Queue) Enqueue(now time.Duration, w *sim.Work) bool {
+	name := q.key(w.Tenant)
+	tq, ok := q.byName[name]
+	if !ok {
+		tq = &tenantQueue{
+			tenant: name,
+			weight: q.cfg.Weight(name),
+			codel:  NewCoDel(q.cfg.Target, q.cfg.Interval),
+		}
+		q.byName[name] = tq
+	}
+	if tq.len() >= q.cfg.PerTenantCap {
+		if q.metrics != nil {
+			q.metrics.RecordShed(name, ReasonQueueFull)
+		}
+		return false
+	}
+	w.EnqueuedAt = now
+	tq.push(w)
+	q.size++
+	if !tq.active {
+		tq.active = true
+		tq.deficit = 0
+		q.ring = append(q.ring, tq)
+		if len(q.ring) == 1 {
+			q.cur = 0
+			q.fresh = true
+		}
+	}
+	return true
+}
+
+// Dequeue implements sim.QueueDiscipline: deficit round-robin across active
+// tenants (Shreedhar & Varghese: a queue's deficit is topped up exactly once
+// per visit, and the cursor moves on when the deficit can't cover the head),
+// with each popped item passed through its tenant's CoDel. CoDel casualties
+// invoke their Drop callback here and the scan continues, so a freed core
+// never idles while runnable work exists.
+func (q *Queue) Dequeue(now time.Duration) *sim.Work {
+	for q.size > 0 {
+		if q.cur >= len(q.ring) {
+			q.cur = 0
+			q.fresh = true
+		}
+		tq := q.ring[q.cur]
+		if q.fresh {
+			tq.deficit += time.Duration(float64(q.cfg.Quantum) * tq.weight)
+			q.fresh = false
+		}
+		head := tq.peek()
+		if tq.deficit < head.Cost {
+			// This tenant's turn is over; its deficit persists, so
+			// heavy requests accumulate credit across rounds.
+			q.cur++
+			q.fresh = true
+			continue
+		}
+		w := tq.pop()
+		q.size--
+		if tq.len() == 0 {
+			q.deactivate(q.cur)
+		}
+		sojourn := now - w.EnqueuedAt
+		if !tq.codel.Admit(now, sojourn) {
+			if q.metrics != nil {
+				q.metrics.RecordShed(tq.tenant, ReasonCoDel)
+			}
+			if w.Drop != nil {
+				w.Drop(sojourn)
+			}
+			continue
+		}
+		tq.deficit -= w.Cost
+		if q.metrics != nil {
+			q.metrics.Tenant(tq.tenant).Sojourn.ObserveDuration(sojourn)
+		}
+		return w
+	}
+	return nil
+}
+
+// deactivate removes the ring entry at index i (its tenant queue emptied).
+// An empty queue forfeits its remaining deficit — the standard DRR rule that
+// keeps idle tenants from banking credit.
+func (q *Queue) deactivate(i int) {
+	tq := q.ring[i]
+	tq.active = false
+	tq.deficit = 0
+	q.ring = append(q.ring[:i], q.ring[i+1:]...)
+	if q.cur > i {
+		q.cur--
+	} else if q.cur == i {
+		// The cursor now points at the next queue in the ring.
+		q.fresh = true
+	}
+}

@@ -172,6 +172,7 @@ func All() []Experiment {
 		{"fig14", "Configuration completion time", func() Result { return Fig14ConfigCompletion() }},
 		{"fig15", "Southbound bandwidth overhead", func() Result { return Fig15SouthboundBandwidth() }},
 		{"fig16", "Noisy neighbor isolation", func() Result { return Fig16NoisyNeighbor() }},
+		{"admission", "Flash crowd with admission control off vs on", func() Result { return AdmissionFlashCrowd() }},
 		{"fig17", "CDF of completion time of Reuse and New", func() Result { return Fig17ScalingCDF() }},
 		{"table4", "Reuse and New event timelines", func() Result { return Tab04ScalingTimeline() }},
 		{"fig18", "Occurrences of Reuse and New over a month", func() Result { return Fig18ScalingOccurrences() }},

@@ -297,7 +297,10 @@ func Fig20DailyOps() *Series {
 	s.At(3*hourLen, func() { // nightly rolling version update: 4 "hours"
 		for _, b := range g.Backends() {
 			b := b
-			s.After(time.Duration(rand.New(rand.NewSource(int64(len(b.ID)))).Int63n(int64(4*hourLen))), func() {
+			// Stagger upgrades with the sim's seeded RNG so each backend
+			// draws a distinct (but reproducible) slot. Seeding from
+			// len(b.ID) gave every backend the same delay.
+			s.After(time.Duration(s.Rand().Int63n(int64(4*hourLen))), func() {
 				// Rolling upgrade: one replica at a time, traffic stays up.
 				if len(b.Replicas) > 1 {
 					b.Replicas[0].VM.Fail()

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"canalmesh/internal/admission"
 	"canalmesh/internal/cloud"
 	"canalmesh/internal/l4"
 	"canalmesh/internal/l7"
@@ -150,6 +151,20 @@ type Gateway struct {
 	seq       int
 
 	sampling bool
+	adm      *admissionState
+}
+
+// admissionState holds the gateway's proactive overload-control layer when
+// enabled: per-service AIMD limiters, per-replica WDRR+CoDel queues (wired
+// into each replica Processor as its queue discipline), shared shed/sojourn
+// metrics, and a 1-second shed-rate series fed by StartSampling.
+type admissionState struct {
+	cfg      admission.Config
+	metrics  *admission.Metrics
+	limiters map[uint64]*admission.Limiter
+	// ShedSeries samples gateway-wide sheds per second.
+	shedSeries *telemetry.Series
+	shedWindow int
 }
 
 // New creates an empty gateway.
@@ -198,7 +213,78 @@ func (g *Gateway) AddBackend(az *cloud.AZ, replicas, cores int, sandbox bool) (*
 		// backends, new services see the larger pool.
 		g.assigner = nil
 	}
+	if g.adm != nil {
+		g.installAdmission(b)
+	}
 	return b, nil
+}
+
+// EnableAdmission turns on the proactive overload-control layer: every
+// replica's processor gets a WDRR+CoDel queue discipline (one queue per
+// tenant per replica) and every service gets an AIMD concurrency limiter.
+// Backends added later are covered automatically. Call before offering load;
+// with admission off, Dispatch behaves exactly as without this layer.
+func (g *Gateway) EnableAdmission(cfg admission.Config) {
+	g.adm = &admissionState{
+		cfg:        cfg.WithDefaults(),
+		metrics:    admission.NewMetrics(),
+		limiters:   make(map[uint64]*admission.Limiter),
+		shedSeries: telemetry.NewSeries("admission-shed"),
+	}
+	for _, b := range append(append([]*Backend{}, g.backends...), g.sandboxes...) {
+		g.installAdmission(b)
+	}
+}
+
+// AdmissionEnabled reports whether the admission layer is active.
+func (g *Gateway) AdmissionEnabled() bool { return g.adm != nil }
+
+// AdmissionMetrics returns the admission layer's metrics, or nil when
+// disabled.
+func (g *Gateway) AdmissionMetrics() *admission.Metrics {
+	if g.adm == nil {
+		return nil
+	}
+	return g.adm.metrics
+}
+
+// ShedSeries returns the 1-second gateway-wide shed-rate series (sampled by
+// StartSampling), or nil when admission is disabled.
+func (g *Gateway) ShedSeries() *telemetry.Series {
+	if g.adm == nil {
+		return nil
+	}
+	return g.adm.shedSeries
+}
+
+// installAdmission puts a fresh per-tenant fair queue on each replica of b.
+func (g *Gateway) installAdmission(b *Backend) {
+	for _, r := range b.Replicas {
+		r.VM.Proc.SetDiscipline(admission.NewQueue(g.adm.cfg, g.adm.metrics))
+	}
+}
+
+// limiterFor returns (creating if needed) the service's adaptive limiter.
+func (g *Gateway) limiterFor(s *ServiceState) *admission.Limiter {
+	lim, ok := g.adm.limiters[s.ID]
+	if !ok {
+		lim = admission.NewLimiter(g.adm.cfg.Limiter)
+		g.adm.limiters[s.ID] = lim
+	}
+	return lim
+}
+
+// ServiceLimiter exposes a service's adaptive limiter (nil when admission is
+// disabled or the service unknown) for tests and operators.
+func (g *Gateway) ServiceLimiter(id uint64) *admission.Limiter {
+	if g.adm == nil {
+		return nil
+	}
+	s, ok := g.services[id]
+	if !ok {
+		return nil
+	}
+	return g.limiterFor(s)
 }
 
 // Backends returns the non-sandbox backends.
@@ -386,19 +472,41 @@ func (g *Gateway) Dispatch(id uint64, clientAZ string, flow cloud.SessionKey, re
 		fail(l7.StatusTooManyRequests)
 		return
 	}
+	// Admission stage 1: the per-service AIMD limiter sheds excess
+	// concurrency before any backend resources are touched.
+	var lim *admission.Limiter
+	if g.adm != nil {
+		lim = g.limiterFor(s)
+		if !lim.Acquire(start) {
+			g.noteShed(s.Tenant, admission.ReasonLimiter)
+			fail(l7.StatusTooManyRequests)
+			return
+		}
+	}
+	released := false
+	release := func(lat time.Duration, ok bool) {
+		if lim == nil || released {
+			return
+		}
+		released = true
+		lim.Release(g.cfg.Sim.Now(), lat, ok)
+	}
 	b, err := g.ResolveBackend(id, clientAZ, flow)
 	if err != nil {
+		release(0, false)
 		fail(l7.StatusUnavailable)
 		return
 	}
 	r, err := g.pickReplica(b, flow)
 	if err != nil {
+		release(0, false)
 		fail(l7.StatusUnavailable)
 		return
 	}
 	req.Service = serviceKeyName(id)
 	_, status := routeStatus(g.cfg.Engine, start, req)
 	if status != l7.StatusOK {
+		release(0, false)
 		fail(status)
 		return
 	}
@@ -407,6 +515,7 @@ func (g *Gateway) Dispatch(id uint64, clientAZ string, flow cloud.SessionKey, re
 		// session table (§3.2 Issue #4); a full table rejects the
 		// connection — the pressure session aggregation relieves.
 		if err := r.VM.Sessions.Add(flow); err != nil {
+			release(0, false)
 			fail(l7.StatusUnavailable)
 			return
 		}
@@ -417,12 +526,41 @@ func (g *Gateway) Dispatch(id uint64, clientAZ string, flow cloud.SessionKey, re
 	if req.TLS {
 		cost += 2 * g.cfg.Costs.SymCryptoCost(req.BodyBytes)
 	}
-	r.VM.Proc.Exec(cost, func() {
+	complete := func() {
 		lat := g.cfg.Sim.Now() - start
+		release(lat, true)
 		s.Latency.ObserveDuration(lat)
 		logEntry(l7.StatusOK, r.VM.ID)
 		done(lat, l7.StatusOK)
+	}
+	if g.adm == nil {
+		r.VM.Proc.Exec(cost, complete)
+		return
+	}
+	// Admission stage 2: the replica's WDRR+CoDel discipline decides when
+	// (and whether) the work runs; shed requests fail fast with 429.
+	r.VM.Proc.Submit(&sim.Work{
+		Tenant: s.Tenant,
+		Cost:   cost,
+		Do: func() {
+			g.adm.metrics.Tenant(s.Tenant).Admitted.Inc()
+			complete()
+		},
+		Drop: func(sojourn time.Duration) {
+			release(0, false)
+			// The discipline already recorded the shed reason; count
+			// it toward the gateway-wide shed rate here.
+			g.adm.shedWindow++
+			fail(l7.StatusTooManyRequests)
+		},
 	})
+}
+
+// noteShed records a limiter-stage shed in the admission metrics and the
+// per-second shed window.
+func (g *Gateway) noteShed(tenant string, reason admission.Reason) {
+	g.adm.metrics.RecordShed(tenant, reason)
+	g.adm.shedWindow++
 }
 
 // routeStatus adapts engine errors into statuses.
@@ -496,6 +634,10 @@ func (g *Gateway) StartSampling(stop func() bool) {
 				series.Append(now, float64(b.window[id]))
 			}
 			b.window = make(map[uint64]int)
+		}
+		if g.adm != nil {
+			g.adm.shedSeries.Append(now, float64(g.adm.shedWindow))
+			g.adm.shedWindow = 0
 		}
 		return true
 	})

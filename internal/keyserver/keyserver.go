@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"canalmesh/internal/meshcrypto"
 )
@@ -32,6 +33,9 @@ var ErrUnverifiedRequester = errors.New("keyserver: unverified requester")
 // physically stolen machine or a restart yields nothing (§4.1.3).
 type Server struct {
 	name string
+	// IOTimeout bounds each read/write on served TCP connections
+	// (DefaultIOTimeout when zero). Set it before ServeTCP.
+	IOTimeout time.Duration
 
 	mu       sync.Mutex
 	aead     cipher.AEAD

@@ -19,9 +19,20 @@ const (
 	// MaxFrame bounds a frame to keep a misbehaving peer from ballooning
 	// memory; handshake payloads are well under this.
 	MaxFrame = 1 << 20
-	// ioTimeout bounds each read/write on a connection.
-	ioTimeout = 10 * time.Second
+	// DefaultIOTimeout is the single I/O deadline applied to every dial,
+	// read, and write on key-server connections unless the owner
+	// (Server.IOTimeout / TCPTransport.IOTimeout) overrides it.
+	DefaultIOTimeout = 10 * time.Second
 )
+
+// effectiveTimeout resolves a configured timeout, falling back to the
+// package default.
+func effectiveTimeout(d time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return DefaultIOTimeout
+}
 
 // ErrFrameTooLarge is returned for frames exceeding MaxFrame.
 var ErrFrameTooLarge = errors.New("keyserver: frame exceeds maximum size")
@@ -97,8 +108,11 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	timeout := effectiveTimeout(s.IOTimeout)
 	for {
-		_ = conn.SetReadDeadline(time.Now().Add(ioTimeout))
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return // connection already unusable; nothing to read from it
+		}
 		payload, err := readFrame(conn)
 		if err != nil {
 			return // EOF, timeout, or oversized frame: drop the connection
@@ -108,7 +122,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err == nil {
 			resp, err = s.Handle(requester, sealed)
 		}
-		_ = conn.SetWriteDeadline(time.Now().Add(ioTimeout))
+		if derr := conn.SetWriteDeadline(time.Now().Add(timeout)); derr != nil {
+			return
+		}
 		if err != nil {
 			if werr := writeFrame(conn, append([]byte{1}, []byte(err.Error())...)); werr != nil {
 				return
@@ -126,6 +142,9 @@ func (s *Server) serveConn(conn net.Conn) {
 // the connection, matching the sequential frame protocol).
 type TCPTransport struct {
 	addr string
+	// IOTimeout bounds each dial, read, and write (DefaultIOTimeout when
+	// zero). Set it before the first RoundTrip.
+	IOTimeout time.Duration
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -157,7 +176,7 @@ func (t *TCPTransport) RoundTrip(requester string, sealedReq []byte) ([]byte, er
 	// One reconnect attempt on a broken persistent connection.
 	for attempt := 0; attempt < 2; attempt++ {
 		if t.conn == nil {
-			conn, err := net.DialTimeout("tcp", t.addr, ioTimeout)
+			conn, err := net.DialTimeout("tcp", t.addr, effectiveTimeout(t.IOTimeout))
 			if err != nil {
 				return nil, fmt.Errorf("keyserver: dialing %s: %w", t.addr, err)
 			}
@@ -178,11 +197,16 @@ func (t *TCPTransport) RoundTrip(requester string, sealedReq []byte) ([]byte, er
 }
 
 func (t *TCPTransport) exchange(payload []byte) ([]byte, error) {
-	_ = t.conn.SetWriteDeadline(time.Now().Add(ioTimeout))
+	timeout := effectiveTimeout(t.IOTimeout)
+	if err := t.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("keyserver: setting write deadline: %w", err)
+	}
 	if err := writeFrame(t.conn, payload); err != nil {
 		return nil, err
 	}
-	_ = t.conn.SetReadDeadline(time.Now().Add(ioTimeout))
+	if err := t.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("keyserver: setting read deadline: %w", err)
+	}
 	resp, err := readFrame(t.conn)
 	if err != nil {
 		return nil, err

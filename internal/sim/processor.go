@@ -10,6 +10,45 @@ import (
 // monitoring system uses for backend water levels.
 const UtilBucket = time.Second
 
+// Work is a unit of schedulable work submitted through Submit. Unlike plain
+// Exec calls, Work carries the metadata a queue discipline needs to make
+// admission decisions: which tenant it belongs to, how much CPU it costs, and
+// what to do if the discipline sheds it instead of running it.
+type Work struct {
+	// Tenant classifies the work for per-tenant queueing disciplines.
+	Tenant string
+	// Cost is the CPU time the work consumes once started.
+	Cost time.Duration
+	// Do runs at completion (after Cost of CPU time on a core).
+	Do func()
+	// Drop runs instead of Do when a discipline sheds the work; sojourn is
+	// how long the work waited in queue before being shed (0 when rejected
+	// at enqueue).
+	Drop func(sojourn time.Duration)
+	// EnqueuedAt is stamped by the processor when the work enters a queue.
+	EnqueuedAt time.Duration
+}
+
+// QueueDiscipline is a pluggable queue a Processor consults when all cores
+// are busy. The default (nil) discipline preserves the analytic FCFS model of
+// Exec; installing one switches Submit to explicit event-driven queueing with
+// admission control — per-tenant fair queueing, CoDel, bounded queues.
+//
+// Disciplines may shed work: Enqueue returning false rejects it outright, and
+// Dequeue may invoke Drop on items it decides to discard before returning the
+// next runnable item. The processor invokes Drop for enqueue rejections.
+type QueueDiscipline interface {
+	// Enqueue offers w to the queue at virtual time now. Returning false
+	// rejects the work (queue full / policy); the processor then invokes
+	// w.Drop with zero sojourn.
+	Enqueue(now time.Duration, w *Work) bool
+	// Dequeue returns the next work item to run, or nil when the queue has
+	// nothing runnable. It is called each time a core frees up.
+	Dequeue(now time.Duration) *Work
+	// Len reports the number of queued items.
+	Len() int
+}
+
 // Processor models a multi-core FCFS work-conserving CPU. Each Exec charges a
 // CPU cost to the earliest-available core; when all cores are busy the work
 // queues, which is the mechanism behind every latency knee in the paper's
@@ -21,6 +60,7 @@ type Processor struct {
 	busy  map[int64]time.Duration
 	total time.Duration // cumulative busy time across cores
 	done  uint64        // completed work items
+	disc  QueueDiscipline
 }
 
 // NewProcessor returns a processor with the given core count attached to s.
@@ -76,6 +116,91 @@ func (p *Processor) Exec(cost time.Duration, fn func()) time.Duration {
 		}
 	})
 	return end
+}
+
+// SetDiscipline installs (or, with nil, removes) a queue discipline consulted
+// by Submit when every core is busy. Work already queued in a replaced
+// discipline stays there and is never drained — install disciplines before
+// offering load.
+func (p *Processor) SetDiscipline(d QueueDiscipline) { p.disc = d }
+
+// Discipline returns the installed queue discipline, or nil.
+func (p *Processor) Discipline() QueueDiscipline { return p.disc }
+
+// QueueLen returns the number of items waiting in the installed discipline
+// (0 without one; the analytic Exec path has no countable queue).
+func (p *Processor) QueueLen() int {
+	if p.disc == nil {
+		return 0
+	}
+	return p.disc.Len()
+}
+
+// Submit offers w to the processor. Without a discipline it behaves exactly
+// like Exec(w.Cost, w.Do). With one, w starts immediately if a core is idle;
+// otherwise it enters the discipline's queue and starts when the discipline
+// hands it to a freed core — or gets shed, invoking w.Drop.
+func (p *Processor) Submit(w *Work) {
+	if w.Cost < 0 {
+		panic(fmt.Sprintf("sim: processor %q got negative cost %v", p.name, w.Cost))
+	}
+	if p.disc == nil {
+		p.Exec(w.Cost, w.Do)
+		return
+	}
+	now := p.sim.Now()
+	if core, ok := p.idleCore(now); ok {
+		p.startWork(core, now, w)
+		return
+	}
+	w.EnqueuedAt = now
+	if !p.disc.Enqueue(now, w) {
+		if w.Drop != nil {
+			w.Drop(0)
+		}
+	}
+}
+
+// idleCore returns a core index free at now, if any.
+func (p *Processor) idleCore(now time.Duration) (int, bool) {
+	for i, c := range p.cores {
+		if c <= now {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// startWork runs w on the given idle core starting at now, then drains the
+// discipline when the core frees.
+func (p *Processor) startWork(core int, now time.Duration, w *Work) {
+	end := now + w.Cost
+	p.cores[core] = end
+	p.account(now, end)
+	p.total += w.Cost
+	p.sim.At(end, func() {
+		p.done++
+		if w.Do != nil {
+			w.Do()
+		}
+		p.drain(core)
+	})
+}
+
+// drain moves the next queued item (if any) onto the freed core.
+func (p *Processor) drain(core int) {
+	if p.disc == nil {
+		return
+	}
+	now := p.sim.Now()
+	if p.cores[core] > now {
+		// An interleaved Exec claimed the core analytically; the next
+		// completion will drain instead.
+		return
+	}
+	if w := p.disc.Dequeue(now); w != nil {
+		p.startWork(core, now, w)
+	}
 }
 
 // QueueDelay returns how long newly submitted work would wait before starting.
@@ -139,5 +264,20 @@ func (p *Processor) AddCores(n int) {
 	now := p.sim.Now()
 	for i := 0; i < n; i++ {
 		p.cores = append(p.cores, now)
+	}
+	if p.disc == nil {
+		return
+	}
+	// Queued work can start on the new cores right away.
+	for {
+		core, ok := p.idleCore(now)
+		if !ok {
+			return
+		}
+		w := p.disc.Dequeue(now)
+		if w == nil {
+			return
+		}
+		p.startWork(core, now, w)
 	}
 }

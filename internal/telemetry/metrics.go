@@ -9,13 +9,16 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. It is lock-free (a float64
+// bit-cast into an atomic.Uint64 updated by CAS), so per-request hot paths —
+// gateway dispatch, admission shedding — can bump it without contending on a
+// mutex.
 type Counter struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Add increments the counter by d (d < 0 panics).
@@ -23,9 +26,13 @@ func (c *Counter) Add(d float64) {
 	if d < 0 {
 		panic("telemetry: counter decrement")
 	}
-	c.mu.Lock()
-	c.v += d
-	c.mu.Unlock()
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Inc adds 1.
@@ -33,36 +40,34 @@ func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	return math.Float64frombits(c.bits.Load())
 }
 
-// Gauge is a value that can go up and down.
+// Gauge is a value that can go up and down. Like Counter it is a lock-free
+// bit-cast atomic float64.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Add adjusts the gauge by d.
 func (g *Gauge) Add(d float64) {
-	g.mu.Lock()
-	g.v += d
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value returns the gauge value.
 func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Sample collects observations and answers exact order statistics. It is the
@@ -313,6 +318,25 @@ func (s *Series) Values(from, to time.Duration) []float64 {
 		out[i] = p.V
 	}
 	return out
+}
+
+// JainIndex returns Jain's fairness index (sum x)^2 / (n * sum x^2) over the
+// values: 1.0 when all shares are equal, 1/n when one party captures
+// everything. The admission layer reports it over per-tenant goodput. Empty
+// or all-zero input yields 1 (nothing allocated is vacuously fair).
+func JainIndex(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(vals)) * sumSq)
 }
 
 // Correlation returns the Pearson correlation of two equal-length value

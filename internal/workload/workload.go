@@ -45,6 +45,30 @@ func Spike(base, peak float64, start, dur time.Duration) RateFunc {
 	}
 }
 
+// FlashCrowd returns a trapezoid flash-crowd rate: base until start, a ramp
+// up to peak over rampUp (the crowd arriving), peak held for hold, then a
+// ramp back down to base over rampUp again. It is the canonical aggressor
+// curve for admission-control experiments: unlike Spike's square edge, the
+// ramp exercises the limiter's adaptation rather than only its cap.
+func FlashCrowd(base, peak float64, start, rampUp, hold time.Duration) RateFunc {
+	return func(t time.Duration) float64 {
+		switch {
+		case t < start:
+			return base
+		case t < start+rampUp:
+			frac := float64(t-start) / float64(rampUp)
+			return base + (peak-base)*frac
+		case t < start+rampUp+hold:
+			return peak
+		case t < start+2*rampUp+hold:
+			frac := float64(t-start-rampUp-hold) / float64(rampUp)
+			return peak + (base-peak)*frac
+		default:
+			return base
+		}
+	}
+}
+
 // Ramp linearly interpolates from -> to over [start, start+dur).
 func Ramp(from, to float64, start, dur time.Duration) RateFunc {
 	return func(t time.Duration) float64 {

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"time"
 
+	"canalmesh/internal/admission"
 	"canalmesh/internal/anomaly"
 	"canalmesh/internal/cloud"
 	"canalmesh/internal/gateway"
@@ -82,6 +83,49 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	sc.planner = scaling.NewPlanner(s, g, region, scaling.DefaultOptions())
 	sc.monitor = anomaly.NewMonitor(s, g, sc.planner, anomaly.DefaultThresholds())
 	return sc, nil
+}
+
+// AdmissionOptions tunes a scenario's admission layer. Zero values take the
+// admission package defaults.
+type AdmissionOptions struct {
+	// Weights biases per-tenant fair CPU shares (default weight 1 each).
+	Weights map[string]float64
+	// Target / Interval tune the CoDel queue-management stage.
+	Target   time.Duration
+	Interval time.Duration
+}
+
+// EnableAdmission turns on the proactive overload-control layer — per-tenant
+// weighted fair queues with CoDel on every gateway replica, plus per-service
+// adaptive concurrency limits — so one tenant's flash crowd is shed with fast
+// 429s instead of queueing behind every other tenant's traffic. Call it
+// before driving load. It composes with the anomaly monitor's sandbox
+// migration: admission bounds the blast radius during the tens of seconds the
+// monitor needs to confirm an anomaly and migrate the offender.
+func (sc *Scenario) EnableAdmission(opt AdmissionOptions) {
+	sc.gw.EnableAdmission(admission.Config{
+		Weights:  opt.Weights,
+		Target:   opt.Target,
+		Interval: opt.Interval,
+	})
+}
+
+// AdmissionSheds returns the total number of requests the admission layer
+// rejected (0 when admission is disabled).
+func (sc *Scenario) AdmissionSheds() float64 {
+	if m := sc.gw.AdmissionMetrics(); m != nil {
+		return m.ShedTotal()
+	}
+	return 0
+}
+
+// AdmissionFairness returns the Jain fairness index over per-tenant admitted
+// request counts, in (0, 1]; 1 when admission is disabled or idle.
+func (sc *Scenario) AdmissionFairness() float64 {
+	if m := sc.gw.AdmissionMetrics(); m != nil {
+		return m.FairnessIndex()
+	}
+	return 1
 }
 
 // Service is a handle to one registered tenant service in a scenario.

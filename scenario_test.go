@@ -160,3 +160,35 @@ func TestScenarioDefaultsAndErrors(t *testing.T) {
 		t.Errorf("defaults should produce a working scenario: %v", err)
 	}
 }
+
+func TestScenarioAdmissionProtectsVictim(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 3, AZs: []string{"az1"}, ShardSize: 1,
+		Backends: 1, ReplicasPerBE: 1, CoresPerReplica: 1})
+	sc.EnableAdmission(AdmissionOptions{Target: time.Millisecond, Interval: 10 * time.Millisecond})
+	agg, err := sc.RegisterService("aggressor", "api", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vic, err := sc.RegisterService("victim", "api", 200, "192.168.0.11", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One core serves ~4950 rps; the aggressor alone offers 3x that.
+	aggStats := agg.Drive("az1", 15000, 10*time.Second)
+	vicStats := vic.Drive("az1", 500, 10*time.Second)
+	sc.RunFor(12 * time.Second)
+
+	if sc.AdmissionSheds() == 0 {
+		t.Error("3x overload shed nothing")
+	}
+	if fi := sc.AdmissionFairness(); fi <= 0 || fi > 1 {
+		t.Errorf("fairness = %v", fi)
+	}
+	if aggStats.Count(429) == 0 {
+		t.Error("aggressor overload produced no 429s")
+	}
+	vicOK, vicTotal := vicStats.Count(200), vicStats.Count(200)+vicStats.Count(429)
+	if vicTotal == 0 || float64(vicOK)/float64(vicTotal) < 0.8 {
+		t.Errorf("victim served %d/%d; admission should protect it", vicOK, vicTotal)
+	}
+}
