@@ -1,0 +1,66 @@
+// Command canalvet runs the repository's invariant linters (internal/lint)
+// over the module: simulation determinism (no wall clock / global rand in
+// sim packages), map-iteration-order hygiene, atomic/plain field-access
+// mixing, lock discipline, and silently dropped errors.
+//
+// Usage:
+//
+//	canalvet ./...          # lint the whole module containing the cwd
+//	canalvet                # same
+//	canalvet -list          # print the analyzers and exit
+//
+// Intentional violations are suppressed inline with a justified directive:
+//
+//	//canal:allow <analyzer> <reason...>
+//
+// canalvet exits 1 when any diagnostic survives — including malformed or
+// stale (suppressing-nothing) directives — so it can gate verify.sh and CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"canalmesh/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	root := flag.String("root", ".", "directory inside the module to lint")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	// Package patterns beyond "./..." are not needed for a single-module
+	// repo; accept and ignore the conventional argument.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "canalvet: only ./... is supported, got %q\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	modRoot, err := lint.FindModuleRoot(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canalvet:", err)
+		os.Exit(2)
+	}
+	pkgs, _, err := lint.LoadModule(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canalvet:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "canalvet: %d problem(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

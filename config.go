@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"canalmesh/internal/admission"
@@ -171,6 +172,19 @@ func parseMatch(s string) (StringMatch, error) {
 	return Exact(s), nil
 }
 
+// sortedKeys returns a config map's keys in sorted order. Rule lists built
+// from JSON maps must not inherit Go's randomized map iteration order, or
+// two loads of the same file produce differently-ordered matchers and
+// splits.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Build converts a service file entry into engine configuration.
 func (s ServiceFileEntry) Build() (ServiceConfig, map[string][]string, error) {
 	cfg := ServiceConfig{Service: s.Name, DefaultSubset: s.DefaultSubset}
@@ -186,22 +200,25 @@ func (s ServiceFileEntry) Build() (ServiceConfig, map[string][]string, error) {
 		if rule.Match.Method, err = parseMatch(re.MethodMatch); err != nil {
 			return cfg, nil, fmt.Errorf("rule %s: %w", re.Name, err)
 		}
-		for name, m := range re.HeaderMatch {
-			sm, err := parseMatch(m)
+		// Header/cookie matchers and traffic splits come from JSON maps;
+		// iterate their keys sorted so the built rule — and therefore split
+		// selection and match evaluation order — is identical on every load.
+		for _, name := range sortedKeys(re.HeaderMatch) {
+			sm, err := parseMatch(re.HeaderMatch[name])
 			if err != nil {
 				return cfg, nil, fmt.Errorf("rule %s header %s: %w", re.Name, name, err)
 			}
 			rule.Match.Headers = append(rule.Match.Headers, KVMatch{Name: name, Match: sm})
 		}
-		for name, m := range re.CookieMatch {
-			sm, err := parseMatch(m)
+		for _, name := range sortedKeys(re.CookieMatch) {
+			sm, err := parseMatch(re.CookieMatch[name])
 			if err != nil {
 				return cfg, nil, fmt.Errorf("rule %s cookie %s: %w", re.Name, name, err)
 			}
 			rule.Match.Cookies = append(rule.Match.Cookies, KVMatch{Name: name, Match: sm})
 		}
-		for subset, weight := range re.Splits {
-			rule.Splits = append(rule.Splits, Split{Subset: subset, Weight: weight})
+		for _, subset := range sortedKeys(re.Splits) {
+			rule.Splits = append(rule.Splits, Split{Subset: subset, Weight: re.Splits[subset]})
 		}
 		if re.RateLimitRPS > 0 {
 			rule.RateLimit = &RateLimitSpec{RPS: re.RateLimitRPS, Burst: re.RateLimitRPS}

@@ -64,7 +64,7 @@ func NewGatewayServer(seed int64) *GatewayServer {
 		cas:       make(map[string]*CA),
 		upstreams: make(map[string]map[string][]*url.URL),
 		rr:        make(map[string]int),
-		start:     time.Now(),
+		start:     time.Now(), //canal:allow simdeterminism real HTTP server epoch; virtual time is offsets from this start
 		log:       &telemetry.AccessLog{},
 	}
 }
@@ -173,7 +173,7 @@ func (g *GatewayServer) authenticate(r *http.Request, tenant string) (string, er
 	if err != nil {
 		return "", fmt.Errorf("bad timestamp: %w", err)
 	}
-	if d := time.Since(time.Unix(tsn, 0)); d > authSkew || d < -authSkew {
+	if d := time.Since(time.Unix(tsn, 0)); d > authSkew || d < -authSkew { //canal:allow simdeterminism auth skew check needs the real clock
 		return "", fmt.Errorf("request timestamp outside accepted skew")
 	}
 	id, pub, err := ca.VerifyPeer(certDER)
@@ -190,7 +190,7 @@ func (g *GatewayServer) authenticate(r *http.Request, tenant string) (string, er
 // ServeHTTP implements the multi-tenant gateway data path: authenticate,
 // route, pick an upstream from the chosen subset, and reverse-proxy.
 func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	started := time.Now()
+	started := time.Now() //canal:allow simdeterminism real request latency measurement on the live HTTP path
 	tenant := r.Header.Get(HeaderTenant)
 	service := r.Header.Get(HeaderService)
 	if tenant == "" || service == "" {
@@ -236,7 +236,7 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		BodyBytes:     int(r.ContentLength),
 		TLS:           r.TLS != nil,
 	}
-	decision, err := g.engine.Route(time.Since(g.start), req)
+	decision, err := g.engine.Route(time.Since(g.start), req) //canal:allow simdeterminism live gateway clock feeds rate limiters with real elapsed time
 	if err != nil {
 		status := http.StatusServiceUnavailable
 		if de, ok := err.(*l7.DecisionError); ok {
@@ -249,7 +249,7 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if decision.Delay > 0 {
 		// Fault injection: hold the request before proxying.
-		time.Sleep(decision.Delay)
+		time.Sleep(decision.Delay) //canal:allow simdeterminism fault injection must really delay live requests
 	}
 	if decision.Timeout > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), decision.Timeout)
@@ -330,7 +330,7 @@ func (g *GatewayServer) mirror(r *http.Request, target *url.URL, decision l7.Dec
 
 func (g *GatewayServer) logReq(r *http.Request, tenant, service, source string, status int, started time.Time) {
 	g.log.Log(telemetry.AccessEntry{
-		At:      time.Since(g.start),
+		At:      time.Since(g.start), //canal:allow simdeterminism access-log timestamps on the live path are wall-clock offsets
 		Layer:   telemetry.AccessL7,
 		Where:   "gateway",
 		Tenant:  tenant,
@@ -339,7 +339,7 @@ func (g *GatewayServer) logReq(r *http.Request, tenant, service, source string, 
 		Method:  r.Method,
 		Path:    r.URL.Path,
 		Status:  status,
-		Latency: time.Since(started),
+		Latency: time.Since(started), //canal:allow simdeterminism real request latency on the live path
 	})
 }
 
@@ -407,7 +407,7 @@ func (a *NodeAgent) Do(method, service, path string, body io.Reader, headers map
 	req.Header.Set(HeaderTenant, a.Tenant)
 	req.Header.Set(HeaderService, service)
 	req.Header.Set(HeaderSource, shortID(a.Identity.ID))
-	ts := strconv.FormatInt(time.Now().Unix(), 10)
+	ts := strconv.FormatInt(time.Now().Unix(), 10) //canal:allow simdeterminism signed auth timestamps must be real time for skew checks
 	req.Header.Set(HeaderTimestamp, ts)
 	req.Header.Set(HeaderCert, base64.StdEncoding.EncodeToString(a.Identity.CertDER))
 	payload := signingPayload(a.Tenant, a.Identity.ID, method, path, ts)

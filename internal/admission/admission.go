@@ -27,6 +27,7 @@ package admission
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -223,5 +224,9 @@ func (m *Metrics) FairnessIndex() float64 {
 		vals = append(vals, tm.Admitted.Value())
 	}
 	m.mu.Unlock()
+	// Float addition is not associative: summing in map-iteration order can
+	// change the index in the last ulps between identical runs. Sort first
+	// so regenerated tables are byte-stable.
+	sort.Float64s(vals)
 	return telemetry.JainIndex(vals)
 }

@@ -3,6 +3,7 @@ package beamer
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"canalmesh/internal/cloud"
@@ -143,14 +144,15 @@ func flowKey(p uint16) cloud.SessionKey {
 }
 
 func randomKey(rng *rand.Rand, m map[uint16]string) uint16 {
-	i := rng.Intn(len(m))
+	// Index into the sorted key list: stepping a counter through raw map
+	// iteration would pick a different key each run even under a fixed
+	// seed, making invariant failures unreproducible.
+	keys := make([]uint16, 0, len(m))
 	for k := range m {
-		if i == 0 {
-			return k
-		}
-		i--
+		keys = append(keys, k)
 	}
-	panic("unreachable")
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys[rng.Intn(len(keys))]
 }
 
 func pickReplica(rng *rand.Rand, alive, draining map[string]bool) string {
@@ -164,10 +166,6 @@ func pickReplica(rng *rand.Rand, alive, draining map[string]bool) string {
 		return ""
 	}
 	// Deterministic order before the draw (map iteration is random).
-	for i := 1; i < len(candidates); i++ {
-		for j := i; j > 0 && candidates[j] < candidates[j-1]; j-- {
-			candidates[j], candidates[j-1] = candidates[j-1], candidates[j]
-		}
-	}
+	sort.Strings(candidates)
 	return candidates[rng.Intn(len(candidates))]
 }

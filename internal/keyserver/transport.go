@@ -110,7 +110,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	timeout := effectiveTimeout(s.IOTimeout)
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil { //canal:allow simdeterminism real socket deadlines need the real clock
 			return // connection already unusable; nothing to read from it
 		}
 		payload, err := readFrame(conn)
@@ -122,7 +122,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err == nil {
 			resp, err = s.Handle(requester, sealed)
 		}
-		if derr := conn.SetWriteDeadline(time.Now().Add(timeout)); derr != nil {
+		if derr := conn.SetWriteDeadline(time.Now().Add(timeout)); derr != nil { //canal:allow simdeterminism real socket deadlines need the real clock
 			return
 		}
 		if err != nil {
@@ -198,13 +198,13 @@ func (t *TCPTransport) RoundTrip(requester string, sealedReq []byte) ([]byte, er
 
 func (t *TCPTransport) exchange(payload []byte) ([]byte, error) {
 	timeout := effectiveTimeout(t.IOTimeout)
-	if err := t.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+	if err := t.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil { //canal:allow simdeterminism real socket deadlines need the real clock
 		return nil, fmt.Errorf("keyserver: setting write deadline: %w", err)
 	}
 	if err := writeFrame(t.conn, payload); err != nil {
 		return nil, err
 	}
-	if err := t.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+	if err := t.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil { //canal:allow simdeterminism real socket deadlines need the real clock
 		return nil, fmt.Errorf("keyserver: setting read deadline: %w", err)
 	}
 	resp, err := readFrame(t.conn)

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AtomicMix guards the lock-free telemetry metrics (bit-cast Counter/Gauge)
+// and any future lock-free state: once a struct field is accessed through
+// sync/atomic — either old-style atomic.LoadUint64(&s.f) calls or by being
+// declared as a typed atomic (atomic.Uint64, atomic.Bool, ...) — every other
+// access must go through sync/atomic too. A single plain read or write
+// alongside atomic ones is a data race the race detector only catches when
+// the interleaving happens to occur under test.
+//
+// Resolution is syntactic and per package: atomic fields are collected from
+// (a) struct declarations whose field types are atomic.X and (b) atomic
+// call sites &recv.f inside methods, keyed by receiver type. Plain accesses
+// are then flagged inside methods of the same type.
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "forbid mixing atomic and plain access to the same struct field",
+		Run:  runAtomicMix,
+	}
+}
+
+// atomicTypeNames are the typed atomics of sync/atomic. Fields of these
+// types are safe only through their methods.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true,
+	"Pointer": true, "Value": true,
+}
+
+// typedAtomicMethods are the methods of typed atomics; a selector chain
+// s.f.Load() is a legitimate use of a typed atomic field.
+var typedAtomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true,
+	"Add": true, "And": true, "Or": true,
+	"CompareAndSwap": true,
+}
+
+// recvTypeName extracts the receiver's named type ("T" for (t T) and
+// (t *T) alike), plus the receiver identifier name.
+func recvTypeName(fd *ast.FuncDecl) (typeName, ident string, ok bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	f := fd.Recv.List[0]
+	if len(f.Names) != 1 {
+		return "", "", false
+	}
+	t := f.Type
+	if st, isStar := t.(*ast.StarExpr); isStar {
+		t = st.X
+	}
+	switch v := t.(type) {
+	case *ast.Ident:
+		return v.Name, f.Names[0].Name, true
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, isIdent := v.X.(*ast.Ident); isIdent {
+			return id.Name, f.Names[0].Name, true
+		}
+	}
+	return "", "", false
+}
+
+type atomicField struct {
+	typeName string
+	field    string
+}
+
+func runAtomicMix(p *Package, r *Reporter) {
+	// Pass 1: collect atomic fields across the whole package.
+	typedFields := map[atomicField]bool{}  // declared as atomic.X
+	calledFields := map[atomicField]bool{} // used via atomic.Op(&recv.f)
+	for _, sf := range p.Files {
+		atomicName, hasAtomic := importName(sf.AST, "sync/atomic")
+		if !hasAtomic {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				sel, ok := f.Type.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != atomicName || !atomicTypeNames[sel.Sel.Name] {
+					continue
+				}
+				for _, name := range f.Names {
+					typedFields[atomicField{ts.Name.Name, name.Name}] = true
+				}
+			}
+			return true
+		})
+		forEachFunc(sf.AST, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			typeName, recv, ok := recvTypeName(fd)
+			if !ok {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, isAtomic := selectorOn(call, atomicName); !isAtomic {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+						calledFields[atomicField{typeName, sel.Sel.Name}] = true
+					}
+				}
+				return true
+			})
+		})
+	}
+	if len(typedFields) == 0 && len(calledFields) == 0 {
+		return
+	}
+
+	// Pass 2: flag plain accesses to those fields inside methods of the
+	// owning type.
+	for _, sf := range p.Files {
+		atomicName, _ := importName(sf.AST, "sync/atomic")
+		forEachFunc(sf.AST, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			typeName, recv, ok := recvTypeName(fd)
+			if !ok {
+				return
+			}
+			walkWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != recv {
+					return true
+				}
+				key := atomicField{typeName, sel.Sel.Name}
+				typed, called := typedFields[key], calledFields[key]
+				if !typed && !called {
+					return true
+				}
+				if allowedAtomicUse(sel, stack, atomicName, typed) {
+					return true
+				}
+				r.Reportf(sel.Pos(), "field %s.%s is accessed atomically elsewhere but plainly here; every access must go through sync/atomic", typeName, sel.Sel.Name)
+				return true
+			})
+		})
+	}
+}
+
+// allowedAtomicUse decides whether the selector recv.f (known atomic) is
+// used safely: as &recv.f passed to a sync/atomic call (old-style fields),
+// or as the receiver of a typed-atomic method call recv.f.Load() (typed
+// fields). Taking &recv.f outside an atomic call is allowed only for typed
+// atomics (passing *atomic.Uint64 around is safe by construction).
+func allowedAtomicUse(sel *ast.SelectorExpr, stack []ast.Node, atomicName string, typed bool) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	// recv.f.Method(...): parent is the outer selector, grandparent the call.
+	if outer, ok := parent.(*ast.SelectorExpr); ok && outer.X == ast.Expr(sel) {
+		if typed && typedAtomicMethods[outer.Sel.Name] && len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(outer) {
+				return true
+			}
+		}
+		return false
+	}
+	// &recv.f: allowed for typed atomics anywhere; for old-style fields only
+	// as an argument to a sync/atomic call.
+	if un, ok := parent.(*ast.UnaryExpr); ok && un.Op == token.AND && un.X == ast.Expr(sel) {
+		if typed {
+			return true
+		}
+		if len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok {
+				if _, isAtomic := selectorOn(call, atomicName); isAtomic {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts expectations from fixture sources: a comment of the form
+//
+//	// want "substr" "substr"
+//	// want+1 "substr"        (applies to the following line)
+//
+// Every diagnostic on a line must match one expectation there, and every
+// expectation must be matched — so fixtures prove analyzers both fire and
+// stay quiet.
+var wantRe = regexp.MustCompile(`// want(\+1)? (".*")$`)
+
+var wantStrRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	line    int
+	substr  string
+	matched bool
+}
+
+func parseWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		lineNo := i + 1
+		if m[1] == "+1" {
+			lineNo++
+		}
+		for _, q := range wantStrRe.FindAllStringSubmatch(m[2], -1) {
+			wants = append(wants, &expectation{line: lineNo, substr: strings.ReplaceAll(q[1], `\"`, `"`)})
+		}
+	}
+	return wants
+}
+
+// checkFixture compares diagnostics against the fixture's want comments.
+func checkFixture(t *testing.T, fixtureFile string, diags []Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fixtureFile)
+	for _, d := range diags {
+		text := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.line == d.Pos.Line && strings.Contains(text, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", fixtureFile, w.line, w.substr)
+		}
+	}
+}
+
+// runFixture loads testdata/<name> posed as module directory poseDir and
+// runs the single named analyzer without directive processing.
+func runFixture(t *testing.T, name, poseDir, analyzer string) []Diagnostic {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", name), poseDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		if a.Name != analyzer {
+			continue
+		}
+		a.Run(pkg, &Reporter{fset: pkg.Fset, analyzer: a.Name, out: &diags})
+	}
+	return diags
+}
+
+func fixtureFile(name string) string {
+	return filepath.Join("testdata", name, "fixture.go")
+}
+
+func TestSimDeterminismFires(t *testing.T) {
+	diags := runFixture(t, "simdeterminism", "internal/sim", "simdeterminism")
+	checkFixture(t, fixtureFile("simdeterminism"), diags)
+}
+
+func TestSimDeterminismOutOfScope(t *testing.T) {
+	// The same violations in a non-simulation package are fine: real
+	// servers may read the wall clock.
+	for _, dir := range []string{"internal/telemetry", "cmd/canalload", "examples/quickstart", "internal/meshcrypto"} {
+		if diags := runFixture(t, "simdeterminism", dir, "simdeterminism"); len(diags) != 0 {
+			t.Errorf("dir %q: expected no diagnostics out of scope, got %v", dir, diags)
+		}
+	}
+}
+
+func TestSimDeterminismScope(t *testing.T) {
+	for dir, want := range map[string]bool{
+		"":                    true,
+		"internal/sim":        true,
+		"internal/sim/sub":    true,
+		"internal/bench":      true,
+		"internal/keyserver":  true,
+		"internal/telemetry":  false,
+		"cmd/canalvet":        false,
+		"examples/quickstart": false,
+	} {
+		if got := inSimScope(dir); got != want {
+			t.Errorf("inSimScope(%q) = %v, want %v", dir, got, want)
+		}
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	diags := runFixture(t, "maporder", "internal/anomaly", "maporder")
+	checkFixture(t, fixtureFile("maporder"), diags)
+}
+
+func TestAtomicMix(t *testing.T) {
+	diags := runFixture(t, "atomicmix", "internal/telemetry", "atomicmix")
+	checkFixture(t, fixtureFile("atomicmix"), diags)
+}
+
+func TestLockSafe(t *testing.T) {
+	diags := runFixture(t, "locksafe", "internal/overlay", "locksafe")
+	checkFixture(t, fixtureFile("locksafe"), diags)
+}
+
+func TestErrDrop(t *testing.T) {
+	diags := runFixture(t, "errdrop", "internal/keyserver", "errdrop")
+	checkFixture(t, fixtureFile("errdrop"), diags)
+}
+
+// TestErrDropSkipsTests proves errdrop ignores _test.go files: the same
+// fixture source parsed as a test file yields nothing.
+func TestErrDropSkipsTests(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "errdrop"), "internal/keyserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkg.Files {
+		pkg.Files[i].Test = true
+	}
+	var diags []Diagnostic
+	ErrDrop().Run(pkg, &Reporter{fset: pkg.Fset, analyzer: "errdrop", out: &diags})
+	if len(diags) != 0 {
+		t.Errorf("expected no diagnostics in test files, got %v", diags)
+	}
+}
+
+// TestDirectivePipeline runs the full suite (analyzers + directive
+// processing) over the directive fixture.
+func TestDirectivePipeline(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "directive"), "internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, Analyzers())
+	checkFixture(t, fixtureFile("directive"), diags)
+}
+
+// TestSelfHost runs the full suite over this repository: the codebase must
+// stay canalvet-clean, with every intentional violation carrying a justified
+// //canal:allow.
+func TestSelfHost(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, _, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader lost the module", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FindModuleRoot walks upward from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses every Go package under root into one shared FileSet.
+// Directories named testdata, vendor, or starting with "." or "_" are
+// skipped (testdata holds the linter's own deliberately-violating fixtures).
+// Files that fail to parse abort the load: a lint run over a tree that does
+// not parse would under-report, not over-report.
+func LoadModule(root string) ([]*Package, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		pkg, err := loadDir(fset, path, rel)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, fset, nil
+}
+
+// LoadDir parses a single directory as one Package with Dir set to relDir
+// (which determines, e.g., whether simdeterminism applies). Used by fixture
+// tests to pose as specific module paths.
+func LoadDir(dir, relDir string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg, err := loadDir(fset, dir, relDir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+func loadDir(fset *token.FileSet, dir, rel string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: rel, Fset: fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") || strings.HasPrefix(e.Name(), "_") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		pkg.Files = append(pkg.Files, SourceFile{
+			Name: path,
+			AST:  f,
+			Test: strings.HasSuffix(e.Name(), "_test.go"),
+		})
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// forEachFunc visits every function or method body in the file, including
+// function literals, handing fn the enclosing declaration (nil for literals
+// outside any decl) and the body.
+func forEachFunc(f *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd, fd.Body)
+		}
+	}
+}

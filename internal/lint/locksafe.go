@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockSafe enforces two pieces of lock discipline:
+//
+//  1. In a function with multiple return paths, a mutex taken with Lock()
+//     must be released by defer Unlock() — or every return between Lock and
+//     Unlock is a leak that deadlocks the next caller. The check is a
+//     source-order scan: a return statement reached while a lock is held
+//     (no intervening Unlock, no deferred Unlock registered) is flagged.
+//  2. Structs carrying a sync.Mutex/RWMutex (directly, embedded, or through
+//     another mutex-bearing struct of the same package) must not be passed
+//     or received by value: the copy's mutex state is meaningless and the
+//     original's protection silently vanishes.
+func LockSafe() *Analyzer {
+	return &Analyzer{
+		Name: "locksafe",
+		Doc:  "Lock without defer Unlock across multiple return paths; mutex-bearing structs by value",
+		Run:  runLockSafe,
+	}
+}
+
+func runLockSafe(p *Package, r *Reporter) {
+	bearers := mutexBearers(p)
+	for _, sf := range p.Files {
+		forEachFunc(sf.AST, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			checkValueMutex(fd, bearers, r)
+			checkLockPaths(body, r)
+		})
+		// Function literals get the same Lock/return scan, each at its own
+		// nesting level (checkLockPaths does not descend into inner literals,
+		// so visiting every literal here scans each body exactly once).
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkLockPaths(fl.Body, r)
+			}
+			return true
+		})
+	}
+}
+
+// mutexBearers returns the names of package-local struct types that contain
+// a sync.Mutex or sync.RWMutex anywhere in their (package-local) field
+// closure.
+func mutexBearers(p *Package) map[string]bool {
+	type structInfo struct {
+		direct bool     // has a sync.(RW)Mutex field or embeds one
+		refs   []string // package-local named field types
+	}
+	infos := map[string]structInfo{}
+	for _, sf := range p.Files {
+		syncName, hasSync := importName(sf.AST, "sync")
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			info := structInfo{}
+			for _, f := range st.Fields.List {
+				t := f.Type
+				if sel, ok := t.(*ast.SelectorExpr); ok && hasSync {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == syncName &&
+						(sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex") {
+						info.direct = true
+					}
+					continue
+				}
+				if id, ok := t.(*ast.Ident); ok {
+					info.refs = append(info.refs, id.Name)
+				}
+			}
+			infos[ts.Name.Name] = info
+			return true
+		})
+	}
+	out := map[string]bool{}
+	var bears func(name string, seen map[string]bool) bool
+	bears = func(name string, seen map[string]bool) bool {
+		if out[name] {
+			return true
+		}
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		info, ok := infos[name]
+		if !ok {
+			return false
+		}
+		if info.direct {
+			return true
+		}
+		for _, ref := range info.refs {
+			if bears(ref, seen) {
+				return true
+			}
+		}
+		return false
+	}
+	for name := range infos {
+		if bears(name, map[string]bool{}) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// checkValueMutex flags value receivers and value parameters of
+// mutex-bearing types.
+func checkValueMutex(fd *ast.FuncDecl, bearers map[string]bool, r *Reporter) {
+	check := func(f *ast.Field, what string) {
+		id, ok := f.Type.(*ast.Ident)
+		if !ok || !bearers[id.Name] {
+			return
+		}
+		r.Reportf(f.Type.Pos(), "%s passes mutex-bearing struct %s by value; use *%s so the lock still guards shared state", what, id.Name, id.Name)
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			check(f, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			check(f, "parameter")
+		}
+	}
+}
+
+// lockEvent is one Lock/Unlock/defer-Unlock/return in source order.
+type lockEvent struct {
+	kind   int // 0 lock, 1 unlock, 2 defer-unlock, 3 return
+	target string
+	read   bool // RLock/RUnlock
+	pos    token.Pos
+}
+
+// checkLockPaths runs the linear lock-state scan over one function body.
+// Nested function literals are scanned separately (their returns do not
+// return from the enclosing function), so they are skipped here — except
+// deferred closures, whose Unlock calls count as deferred unlocks.
+func checkLockPaths(body *ast.BlockStmt, r *Reporter) {
+	var events []lockEvent
+	collect := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch v := m.(type) {
+			case *ast.FuncLit:
+				return false // separate scan; returns inside don't exit us
+			case *ast.DeferStmt:
+				// defer x.Unlock() or defer func(){ ...Unlock()... }()
+				if fl, ok := v.Call.Fun.(*ast.FuncLit); ok {
+					collectDeferredUnlocks(fl.Body, &events)
+					return false
+				}
+				if sel, ok := v.Call.Fun.(*ast.SelectorExpr); ok {
+					if kind, read, isLock := lockKind(sel.Sel.Name); isLock && kind == 1 {
+						events = append(events, lockEvent{kind: 2, target: exprString(sel.X), read: read, pos: v.Pos()})
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+					if kind, read, isLock := lockKind(sel.Sel.Name); isLock {
+						events = append(events, lockEvent{kind: kind, target: exprString(sel.X), read: read, pos: v.Pos()})
+					}
+				}
+			case *ast.ReturnStmt:
+				events = append(events, lockEvent{kind: 3, pos: v.Pos()})
+			}
+			return true
+		})
+	}
+	collect(body)
+
+	type lockKey struct {
+		target string
+		read   bool
+	}
+	held := map[lockKey]token.Pos{}
+	deferredSafe := map[lockKey]bool{}
+	for _, ev := range events {
+		key := lockKey{ev.target, ev.read}
+		switch ev.kind {
+		case 0:
+			held[key] = ev.pos
+		case 1:
+			delete(held, key)
+		case 2:
+			deferredSafe[key] = true
+		case 3:
+			for k, lockPos := range held {
+				if deferredSafe[k] {
+					continue
+				}
+				r.Reportf(lockPos, "%s is locked here but a return path may exit without unlocking; use defer %s.Unlock()", k.target, k.target)
+				delete(held, k) // one report per Lock site
+			}
+		}
+	}
+}
+
+// collectDeferredUnlocks records Unlock calls inside a deferred closure.
+func collectDeferredUnlocks(body *ast.BlockStmt, events *[]lockEvent) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if kind, read, isLock := lockKind(sel.Sel.Name); isLock && kind == 1 {
+				*events = append(*events, lockEvent{kind: 2, target: exprString(sel.X), read: read, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// lockKind classifies a method name: kind 0 for Lock/RLock, 1 for
+// Unlock/RUnlock; read marks the R variants.
+func lockKind(name string) (kind int, read, ok bool) {
+	switch name {
+	case "Lock":
+		return 0, false, true
+	case "RLock":
+		return 0, true, true
+	case "Unlock":
+		return 1, false, true
+	case "RUnlock":
+		return 1, true, true
+	}
+	return 0, false, false
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simScopeDirs are the packages whose code runs under (or feeds) the
+// discrete-event simulator. Inside them, virtual time must come from the sim
+// clock and randomness from an explicitly seeded *rand.Rand; wall-clock
+// reads and the global math/rand source silently break seed-reproducibility
+// of every regenerated table and figure. "" is the module root package,
+// which hosts the Scenario facade and bench harness. Subdirectories of a
+// scoped package are scoped too.
+var simScopeDirs = []string{
+	"",
+	"internal/sim",
+	"internal/netmodel",
+	"internal/bench",
+	"internal/gateway",
+	"internal/l4",
+	"internal/l7",
+	"internal/sharding",
+	"internal/scaling",
+	"internal/workload",
+	"internal/admission",
+	"internal/keyserver",
+}
+
+// inSimScope reports whether the package directory is simulation-facing.
+func inSimScope(dir string) bool {
+	for _, s := range simScopeDirs {
+		if dir == s || (s != "" && strings.HasPrefix(dir, s+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the package time functions that read or wait on the
+// wall clock. Conversions and constructors (time.Duration, time.Unix,
+// time.Date) are pure and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicit sources rather than drawing from the shared global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// SimDeterminism forbids wall-clock access and global math/rand draws in
+// simulation-facing packages.
+func SimDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "simdeterminism",
+		Doc:  "forbid wall-clock and global math/rand use in simulation packages",
+		Run:  runSimDeterminism,
+	}
+}
+
+func runSimDeterminism(p *Package, r *Reporter) {
+	if !inSimScope(p.Dir) {
+		return
+	}
+	for _, sf := range p.Files {
+		timeName, hasTime := importName(sf.AST, "time")
+		randName, hasRand := importName(sf.AST, "math/rand")
+		randV2Name, hasRandV2 := importName(sf.AST, "math/rand/v2")
+		if !hasTime && !hasRand && !hasRandV2 {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if hasTime {
+				if fn, ok := selectorOn(call, timeName); ok && wallClockFuncs[fn] {
+					r.Reportf(call.Pos(), "time.%s reads the wall clock in a simulation package; derive time from the sim clock (sim.Now/After)", fn)
+				}
+			}
+			if hasRand {
+				if fn, ok := selectorOn(call, randName); ok && !randConstructors[fn] {
+					r.Reportf(call.Pos(), "rand.%s draws from the global math/rand source; use an explicitly seeded *rand.Rand", fn)
+				}
+			}
+			if hasRandV2 {
+				if fn, ok := selectorOn(call, randV2Name); ok && !randConstructors[fn] {
+					r.Reportf(call.Pos(), "rand.%s draws from the global math/rand/v2 source; use an explicitly seeded *rand.Rand", fn)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises atomicmix.
+package fixture
+
+import "sync/atomic"
+
+// counter mixes old-style atomic calls with a plain read and write.
+type counter struct {
+	n    uint64
+	safe uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&c.safe, 1)
+}
+
+func (c *counter) bad() uint64 {
+	c.n = 0    // want "field counter.n is accessed atomically elsewhere but plainly here"
+	return c.n // want "field counter.n is accessed atomically elsewhere but plainly here"
+}
+
+func (c *counter) good() uint64 {
+	return atomic.LoadUint64(&c.safe)
+}
+
+// gauge uses a typed atomic; method calls are fine, a raw copy is not.
+type gauge struct {
+	bits atomic.Uint64
+}
+
+func (g *gauge) set(v uint64) { g.bits.Store(v) }
+
+func (g *gauge) load() uint64 { return g.bits.Load() }
+
+func (g *gauge) leak() atomic.Uint64 {
+	return g.bits // want "field gauge.bits is accessed atomically elsewhere but plainly here"
+}
+
+func (g *gauge) ptr() *atomic.Uint64 {
+	return &g.bits // taking the address of a typed atomic is safe
+}
+
+// plain has no atomic access anywhere; ordinary use stays quiet.
+type plain struct {
+	n uint64
+}
+
+func (p *plain) inc() { p.n++ }

@@ -1,0 +1,41 @@
+// Package fixture exercises the //canal:allow directive pipeline. The test
+// harness runs the full suite over it (posed as a simulation package) and
+// checks which diagnostics survive suppression.
+package fixture
+
+import "time"
+
+// inline suppression on the offending line itself.
+func inlineAllowed() time.Time {
+	return time.Now() //canal:allow simdeterminism fixture exercises inline suppression
+}
+
+// standalone suppression on the line above.
+func aboveAllowed() time.Time {
+	//canal:allow simdeterminism fixture exercises above-line suppression
+	return time.Now()
+}
+
+// wrongAnalyzer suppresses the wrong analyzer, so the diagnostic survives
+// and the directive is reported as suppressing nothing.
+func wrongAnalyzer() time.Time {
+	return time.Now() //canal:allow maporder wrong analyzer for this line // want "time.Now reads the wall clock" "canal:allow maporder suppresses nothing"
+}
+
+// unknownAnalyzer names an analyzer that does not exist.
+func unknownAnalyzer() time.Time {
+	return time.Now() //canal:allow wallclock not a real analyzer // want "time.Now reads the wall clock" "canal:allow names unknown analyzer \"wallclock\""
+}
+
+// missingReason has no justification. The want+1 expectations apply to the
+// next line, since trailing text would read as the directive's reason.
+func missingReason() time.Time {
+	// want+1 "time.Now reads the wall clock" "canal:allow simdeterminism needs a reason"
+	return time.Now() //canal:allow simdeterminism
+}
+
+// unused sits on a clean line and must be reported as stale.
+func unused() int {
+	//canal:allow simdeterminism nothing here violates anything // want "canal:allow simdeterminism suppresses nothing"
+	return 42
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises errdrop.
+package fixture
+
+import "fmt"
+
+type flusher struct {
+	n int
+}
+
+func (f *flusher) Flush() error {
+	if f.n == 0 {
+		return fmt.Errorf("empty")
+	}
+	return nil
+}
+
+func (f *flusher) Count() int { return f.n }
+
+func save(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name")
+	}
+	return nil
+}
+
+func report() string { return "ok" }
+
+func drops(f *flusher) {
+	save("x")     // want "save returns an error that is silently discarded"
+	f.Flush()     // want "f.Flush returns an error that is silently discarded"
+	_ = save("x") // explicit discard is a visible decision
+	if err := save("y"); err != nil {
+		_ = err
+	}
+	defer f.Flush() // deferred cleanup is out of scope by design
+	report()        // no error result; quiet
+	f.Count()       // no error result; quiet
+}
+
+func localLit() {
+	g := &flusher{n: 1}
+	g.Flush() // want "g.Flush returns an error that is silently discarded"
+}

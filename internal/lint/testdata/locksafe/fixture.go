@@ -1,0 +1,72 @@
+// Package fixture exercises locksafe.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+type wrapper struct {
+	inner store // mutex-bearing through one level
+}
+
+type plain struct {
+	n int
+}
+
+// leakyGet returns while holding the lock on the error path.
+func (s *store) leakyGet(k string) (int, bool) {
+	s.mu.Lock() // want "s.mu is locked here but a return path may exit without unlocking"
+	v, ok := s.vals[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// deferredGet is the blessed form.
+func (s *store) deferredGet(k string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vals[k]
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// closureUnlock releases via a deferred closure; also fine.
+func (s *store) closureUnlock(k string) int {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	return s.vals[k]
+}
+
+// manualPaths unlocks before every return; the linear scan accepts it.
+func (s *store) manualPaths(k string) int {
+	s.mu.Lock()
+	if v, ok := s.vals[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// byValue passes the mutex-bearing struct by value.
+func byValue(s store) int { // want "parameter passes mutex-bearing struct store by value"
+	return len(s.vals)
+}
+
+// valueRecv is a value receiver on a transitively mutex-bearing struct.
+func (w wrapper) valueRecv() int { // want "receiver passes mutex-bearing struct wrapper by value"
+	return len(w.inner.vals)
+}
+
+// pointerRecv is fine, as are values of mutex-free structs.
+func (w *wrapper) pointerRecv() int { return len(w.inner.vals) }
+
+func plainByValue(p plain) int { return p.n }

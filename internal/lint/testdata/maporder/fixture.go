@@ -1,0 +1,75 @@
+// Package fixture exercises maporder.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+type registry struct {
+	services map[uint64]bool
+	names    []string
+}
+
+// unsortedAppend leaks map order into the returned slice.
+func unsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "slice \"out\" built from map-range iteration is never sorted"
+	}
+	return out
+}
+
+// sortedAppend is the blessed Backend.Services idiom: collect, then sort.
+func sortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortSlice covers the sort.Slice(out, func...) closure form.
+func sortSlice(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// emit prints per iteration; no later sort can repair the order.
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output emitted inside a map-range loop is iteration-order dependent"
+	}
+}
+
+// fieldRange resolves the map through a struct field.
+func (r *registry) fieldRange() {
+	for id := range r.services {
+		r.names = append(r.names, fmt.Sprint(id)) // want "slice \"r.names\" built from map-range iteration"
+	}
+}
+
+// sliceRange must stay quiet: ranging a slice is ordered.
+func sliceRange(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// innerUse must stay quiet: the appended slice is loop-local.
+func innerUse(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		local := []int{}
+		local = append(local, v)
+		total += local[0]
+	}
+	return total
+}

@@ -1,8 +1,21 @@
 #!/bin/sh
-# Repo-wide verification: build, vet, and the full test suite under the race
-# detector. This is the gate every PR must pass.
+# Repo-wide verification: build, formatting, vet, the canalvet invariant
+# linters (sim determinism, map-order hygiene, atomic/lock discipline, error
+# hygiene — see internal/lint), and the full test suite under the race
+# detector. This is the gate every PR must pass, and CI runs exactly the
+# same steps (.github/workflows/ci.yml).
 set -eu
 cd "$(dirname "$0")"
+
 go build ./...
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go vet ./...
+go run ./cmd/canalvet ./...
 go test -race ./...
