@@ -6,9 +6,15 @@
 //	canalsim attack           # session-flood detection and lossy migration (§6.2)
 //	canalsim scatter          # in-phase service scattering (§6.3)
 //	canalsim flash-crowd      # admission control off vs on under a 5x crowd
+//	canalsim trace            # per-hop latency breakdown from distributed traces
+//
+// The trace scenario takes flags:
+//
+//	canalsim trace -arch canal -arch istio -requests 200 -seed 42 -json out.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"net/netip"
@@ -21,13 +27,14 @@ import (
 	"canalmesh/internal/gateway"
 	"canalmesh/internal/l7"
 	"canalmesh/internal/netmodel"
+	"canalmesh/internal/proxy"
 	"canalmesh/internal/sim"
 	"canalmesh/internal/workload"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd>")
+		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd|trace>")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -41,9 +48,54 @@ func main() {
 		attack()
 	case "scatter":
 		scatter()
+	case "trace":
+		traceCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "canalsim: unknown scenario %q\n", os.Args[1])
 		os.Exit(2)
+	}
+}
+
+// archList is a repeatable -arch flag.
+type archList []string
+
+func (a *archList) String() string { return fmt.Sprint([]string(*a)) }
+
+func (a *archList) Set(v string) error {
+	*a = append(*a, v)
+	return nil
+}
+
+// traceCmd runs the tracing experiment and prints one per-hop latency
+// breakdown table per architecture, optionally exporting the JSON report.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var archs archList
+	fs.Var(&archs, "arch", "architecture to trace (repeatable; default: all)")
+	requests := fs.Int("requests", 200, "requests to send per architecture")
+	seed := fs.Int64("seed", 42, "simulation and trace-ID seed")
+	jsonPath := fs.String("json", "", "write the JSON report to this file")
+	fs.Parse(args)
+	if len(archs) == 0 {
+		archs = proxy.Architectures()
+	}
+	rep, err := bench.TraceExperiment(archs, *requests, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.String())
+	if *jsonPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 	}
 }
 

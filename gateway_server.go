@@ -1,6 +1,7 @@
 package canal
 
 import (
+	"bytes"
 	"context"
 	"crypto/ecdsa"
 	"crypto/rand"
@@ -18,6 +19,7 @@ import (
 	"canalmesh/internal/admission"
 	"canalmesh/internal/l7"
 	"canalmesh/internal/telemetry"
+	"canalmesh/internal/trace"
 )
 
 // Identity/auth headers of the real-mode data plane. The NodeAgent signs
@@ -36,7 +38,24 @@ const (
 	// HeaderRetry marks a request as a retry; the admission layer charges
 	// it against the tenant's retry budget.
 	HeaderRetry = "X-Canal-Retry"
+	// HeaderTrace carries the request's trace ID on gateway-generated error
+	// responses, so shed (429) and failed (5xx) requests are debuggable by
+	// joining the ID against the access log and the trace store.
+	HeaderTrace = "X-Canal-Trace"
 )
+
+// liveAccessLogCap bounds the live gateway's in-memory access log; the
+// simulated experiments keep their logs unbounded, but a long-lived HTTP
+// process must not grow without limit under load.
+const liveAccessLogCap = 65536
+
+// defaultMirrorTimeout bounds each mirrored shadow request.
+const defaultMirrorTimeout = 5 * time.Second
+
+// mirrorBodyLimit is the largest request body the gateway buffers for
+// mirroring; larger bodies are mirrored without a body rather than stalling
+// (or truncating) the primary request path.
+const mirrorBodyLimit = 1 << 20
 
 // authSkew is the accepted clock skew for signed requests.
 const authSkew = 2 * time.Minute
@@ -53,21 +72,46 @@ type GatewayServer struct {
 	start     time.Time
 	log       *telemetry.AccessLog
 	admit     *admission.HTTPController
+	tracer    *trace.Tracer
+	// mirrorClient sends shadow traffic with its own bounded deadline, so a
+	// slow mirror subset can never pile up goroutines indefinitely.
+	mirrorClient *http.Client
+	mirrorFail   telemetry.Counter
 	// RequireAuth demands a valid identity signature on every request.
 	RequireAuth bool
 }
 
 // NewGatewayServer returns an empty gateway.
 func NewGatewayServer(seed int64) *GatewayServer {
+	log := &telemetry.AccessLog{}
+	log.SetCapacity(liveAccessLogCap)
 	return &GatewayServer{
-		engine:    l7.NewEngine(seed),
-		cas:       make(map[string]*CA),
-		upstreams: make(map[string]map[string][]*url.URL),
-		rr:        make(map[string]int),
-		start:     time.Now(), //canal:allow simdeterminism real HTTP server epoch; virtual time is offsets from this start
-		log:       &telemetry.AccessLog{},
+		engine:       l7.NewEngine(seed),
+		cas:          make(map[string]*CA),
+		upstreams:    make(map[string]map[string][]*url.URL),
+		rr:           make(map[string]int),
+		start:        time.Now(), //canal:allow simdeterminism real HTTP server epoch; virtual time is offsets from this start
+		log:          log,
+		tracer:       trace.NewLive(),
+		mirrorClient: &http.Client{Timeout: defaultMirrorTimeout},
 	}
 }
+
+// Tracer exposes the gateway's live tracer (head-sampled and tail-kept
+// traces of the real data path).
+func (g *GatewayServer) Tracer() *trace.Tracer { return g.tracer }
+
+// SetMirrorTimeout reconfigures the deadline applied to each mirrored
+// shadow request.
+func (g *GatewayServer) SetMirrorTimeout(d time.Duration) {
+	g.mu.Lock()
+	g.mirrorClient = &http.Client{Timeout: d}
+	g.mu.Unlock()
+}
+
+// MirrorFailures returns how many mirrored shadow requests failed (build,
+// transport, or timeout errors).
+func (g *GatewayServer) MirrorFailures() float64 { return g.mirrorFail.Value() }
 
 // AccessLog exposes the gateway's L7 access log.
 func (g *GatewayServer) AccessLog() *telemetry.AccessLog { return g.log }
@@ -187,22 +231,63 @@ func (g *GatewayServer) authenticate(r *http.Request, tenant string) (string, er
 	return id, nil
 }
 
-// ServeHTTP implements the multi-tenant gateway data path: authenticate,
-// route, pick an upstream from the chosen subset, and reverse-proxy.
+// startTrace joins the request's propagated W3C trace context when a valid
+// traceparent header is present, or starts a fresh trace otherwise.
+func (g *GatewayServer) startTrace(r *http.Request) *trace.Trace {
+	if g.tracer == nil {
+		return nil
+	}
+	name := r.Method + " " + r.URL.Path
+	if id, parent, sampled, err := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); err == nil {
+		return g.tracer.StartRemote(id, parent, sampled, "gateway", name)
+	}
+	return g.tracer.Start("gateway", name)
+}
+
+// fail writes a local error response, stamping the trace ID header on it so
+// the caller can join the rejection to its trace, and logs the request. It
+// returns the status for the caller's trace bookkeeping.
+func (g *GatewayServer) fail(w http.ResponseWriter, r *http.Request, tr *trace.Trace,
+	tenant, service, source string, status int, msg string, started time.Time) int {
+	if tr != nil {
+		w.Header().Set(HeaderTrace, tr.ID.String())
+	}
+	g.logReq(r, tenant, service, source, status, started, traceIDString(tr))
+	http.Error(w, msg, status)
+	return status
+}
+
+// traceIDString returns the trace's hex ID, or "" for an untraced request.
+func traceIDString(tr *trace.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.ID.String()
+}
+
+// ServeHTTP implements the multi-tenant gateway data path: extract or start
+// the trace, authenticate, route, pick an upstream from the chosen subset,
+// and reverse-proxy, propagating the trace context upstream.
 func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	started := time.Now() //canal:allow simdeterminism real request latency measurement on the live HTTP path
+	tr := g.startTrace(r)
+	status := http.StatusOK
+	defer func() {
+		if g.tracer != nil && tr != nil {
+			g.tracer.Finish(tr, status)
+		}
+	}()
 	tenant := r.Header.Get(HeaderTenant)
 	service := r.Header.Get(HeaderService)
 	if tenant == "" || service == "" {
-		http.Error(w, "canal: missing tenant/service headers", http.StatusBadRequest)
+		status = g.fail(w, r, tr, tenant, service, "", http.StatusBadRequest, "canal: missing tenant/service headers", started)
 		return
 	}
 	source := r.Header.Get(HeaderSource)
 	if g.RequireAuth {
 		id, err := g.authenticate(r, tenant)
 		if err != nil {
-			g.logReq(r, tenant, service, source, http.StatusForbidden, started)
-			http.Error(w, "canal: "+err.Error(), http.StatusForbidden)
+			status = g.fail(w, r, tr, tenant, service, source, http.StatusForbidden, "canal: "+err.Error(), started)
 			return
 		}
 		// The verified identity overrides whatever the client claimed.
@@ -216,9 +301,8 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if admit != nil {
 		release, rej := admit.Admit(tenant, service, r.Header.Get(HeaderRetry) != "")
 		if rej != nil {
-			g.logReq(r, tenant, service, source, http.StatusTooManyRequests, started)
 			w.Header().Set("Retry-After", strconv.FormatFloat(rej.RetryAfter.Seconds(), 'f', -1, 64))
-			http.Error(w, "canal: "+rej.Error(), http.StatusTooManyRequests)
+			status = g.fail(w, r, tr, tenant, service, source, http.StatusTooManyRequests, "canal: "+rej.Error(), started)
 			return
 		}
 		defer func() { release(proxied) }()
@@ -238,12 +322,11 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	decision, err := g.engine.Route(time.Since(g.start), req) //canal:allow simdeterminism live gateway clock feeds rate limiters with real elapsed time
 	if err != nil {
-		status := http.StatusServiceUnavailable
+		code := http.StatusServiceUnavailable
 		if de, ok := err.(*l7.DecisionError); ok {
-			status = de.Status
+			code = de.Status
 		}
-		g.logReq(r, tenant, service, source, status, started)
-		http.Error(w, "canal: "+err.Error(), status)
+		status = g.fail(w, r, tr, tenant, service, source, code, "canal: "+err.Error(), started)
 		return
 	}
 
@@ -259,13 +342,12 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	target, err := g.pickUpstream(req.Service, decision.Subset)
 	if err != nil {
-		g.logReq(r, tenant, service, source, http.StatusServiceUnavailable, started)
-		http.Error(w, "canal: "+err.Error(), http.StatusServiceUnavailable)
+		status = g.fail(w, r, tr, tenant, service, source, http.StatusServiceUnavailable, "canal: "+err.Error(), started)
 		return
 	}
 	if decision.MirrorTo != "" {
 		if mirror, err := g.pickUpstream(req.Service, decision.MirrorTo); err == nil {
-			go g.mirror(r, mirror, decision)
+			g.spawnMirror(r, mirror, decision)
 		}
 	}
 
@@ -283,16 +365,31 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				out.Header.Del(k)
 			}
 			out.Header.Set(HeaderSubset, decision.Subset)
+			if tr != nil {
+				// Propagate the trace context upstream: the gateway's root
+				// span becomes the upstream's parent.
+				out.Header.Set(trace.TraceparentHeader, trace.Traceparent(tr.ID, tr.Root().ID, tr.Sampled))
+			}
 		},
 		ErrorHandler: func(w http.ResponseWriter, _ *http.Request, err error) {
 			proxied = false
-			g.logReq(r, tenant, service, source, http.StatusBadGateway, started)
-			http.Error(w, "canal: upstream: "+err.Error(), http.StatusBadGateway)
+			status = g.fail(w, r, tr, tenant, service, source, http.StatusBadGateway, "canal: upstream: "+err.Error(), started)
 		},
 	}
 	proxied = true
+	var upstreamStart time.Duration
+	if g.tracer != nil {
+		upstreamStart = g.tracer.Now()
+	}
 	proxy.ServeHTTP(w, r)
-	g.logReq(r, tenant, service, source, http.StatusOK, started)
+	if g.tracer != nil && tr != nil {
+		// One hop span around the upstream exchange separates gateway
+		// overhead from upstream service time in the trace.
+		tr.AddHop(trace.Hop{Name: "gateway/upstream", Start: upstreamStart, End: g.tracer.Now()})
+	}
+	if proxied {
+		g.logReq(r, tenant, service, source, http.StatusOK, started, traceIDString(tr))
+	}
 }
 
 // pickUpstream round-robins within a subset pool.
@@ -309,26 +406,74 @@ func (g *GatewayServer) pickUpstream(key, subset string) (*url.URL, error) {
 	return u, nil
 }
 
-// mirror sends a copy of the request to the shadow subset, discarding the
-// response (traffic mirroring for testing-in-production).
-func (g *GatewayServer) mirror(r *http.Request, target *url.URL, decision l7.Decision) {
-	path := r.URL.Path
+// spawnMirror prepares a copy of the request for the shadow subset and sends
+// it on a background goroutine. The body is buffered up to mirrorBodyLimit so
+// the mirror carries the same payload as the primary; oversized bodies are
+// mirrored without a body rather than stalling the primary path. The primary
+// request's body is restored before this returns, so the reverse proxy still
+// streams it intact.
+func (g *GatewayServer) spawnMirror(r *http.Request, target *url.URL, decision l7.Decision) {
+	var body []byte
+	if r.Body != nil && r.Body != http.NoBody {
+		buffered, err := io.ReadAll(io.LimitReader(r.Body, mirrorBodyLimit+1))
+		if err != nil {
+			g.mirrorFail.Inc()
+			r.Body = io.NopCloser(io.MultiReader(bytes.NewReader(buffered), errReader{err}))
+			return
+		}
+		if len(buffered) > mirrorBodyLimit {
+			// Too big to hold: give the primary back everything read so far
+			// plus the unread remainder, and mirror headers only.
+			rest := r.Body
+			r.Body = io.NopCloser(io.MultiReader(bytes.NewReader(buffered), rest))
+		} else {
+			r.Body = io.NopCloser(bytes.NewReader(buffered))
+			body = buffered
+		}
+	}
+	headers := r.Header.Clone()
+	go g.mirror(r.Method, r.URL.Path, headers, body, target, decision)
+}
+
+// errReader replays a body read error to the primary request after the
+// mirror's buffering attempt failed partway.
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// mirror sends a copy of the request to the shadow subset with the dedicated
+// mirror client (its own timeout), discarding the response body. Failures are
+// counted, never surfaced to the primary request.
+func (g *GatewayServer) mirror(method, path string, headers http.Header, body []byte, target *url.URL, decision l7.Decision) {
 	if decision.PathRewrite != "" {
 		path = decision.PathRewrite
 	}
-	req, err := http.NewRequest(r.Method, target.Scheme+"://"+target.Host+path, nil)
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, target.Scheme+"://"+target.Host+path, rd)
 	if err != nil {
+		g.mirrorFail.Inc()
 		return
 	}
-	resp, err := http.DefaultClient.Do(req)
+	for k, v := range headers {
+		req.Header[k] = v
+	}
+	req.Header.Set(HeaderSubset, decision.MirrorTo)
+	g.mu.RLock()
+	client := g.mirrorClient
+	g.mu.RUnlock()
+	resp, err := client.Do(req)
 	if err != nil {
+		g.mirrorFail.Inc()
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 }
 
-func (g *GatewayServer) logReq(r *http.Request, tenant, service, source string, status int, started time.Time) {
+func (g *GatewayServer) logReq(r *http.Request, tenant, service, source string, status int, started time.Time, traceID string) {
 	g.log.Log(telemetry.AccessEntry{
 		At:      time.Since(g.start), //canal:allow simdeterminism access-log timestamps on the live path are wall-clock offsets
 		Layer:   telemetry.AccessL7,
@@ -340,6 +485,7 @@ func (g *GatewayServer) logReq(r *http.Request, tenant, service, source string, 
 		Path:    r.URL.Path,
 		Status:  status,
 		Latency: time.Since(started), //canal:allow simdeterminism real request latency on the live path
+		TraceID: traceID,
 	})
 }
 
@@ -377,11 +523,14 @@ type NodeAgent struct {
 	Identity *Identity
 	Gateway  string // gateway base URL
 	Client   *http.Client
+	// Tracer originates the workload-side trace context propagated to the
+	// gateway via traceparent. Nil disables client-side tracing.
+	Tracer *trace.Tracer
 }
 
 // NewNodeAgent returns an agent fronting one workload identity.
 func NewNodeAgent(tenant string, id *Identity, gatewayURL string) *NodeAgent {
-	return &NodeAgent{Tenant: tenant, Identity: id, Gateway: gatewayURL, Client: http.DefaultClient}
+	return &NodeAgent{Tenant: tenant, Identity: id, Gateway: gatewayURL, Client: http.DefaultClient, Tracer: trace.NewLive()}
 }
 
 // shortID extracts the service name from a SPIFFE-style identity for the
@@ -395,7 +544,9 @@ func shortID(id string) string {
 	return id
 }
 
-// Do sends one request through the mesh to a destination service.
+// Do sends one request through the mesh to a destination service. When the
+// agent has a Tracer and the caller did not supply its own traceparent, the
+// agent originates the trace context the gateway joins.
 func (a *NodeAgent) Do(method, service, path string, body io.Reader, headers map[string]string) (*http.Response, error) {
 	req, err := http.NewRequest(method, a.Gateway+path, body)
 	if err != nil {
@@ -416,7 +567,20 @@ func (a *NodeAgent) Do(method, service, path string, body io.Reader, headers map
 		return nil, err
 	}
 	req.Header.Set(HeaderSignature, base64.StdEncoding.EncodeToString(sig))
-	return a.Client.Do(req)
+	var tr *trace.Trace
+	if a.Tracer != nil && req.Header.Get(trace.TraceparentHeader) == "" {
+		tr = a.Tracer.Start("node-agent", method+" "+path)
+		req.Header.Set(trace.TraceparentHeader, trace.Traceparent(tr.ID, tr.Root().ID, tr.Sampled))
+	}
+	resp, err := a.Client.Do(req)
+	if tr != nil {
+		status := http.StatusBadGateway
+		if err == nil {
+			status = resp.StatusCode
+		}
+		a.Tracer.Finish(tr, status)
+	}
+	return resp, err
 }
 
 // Get is a convenience wrapper over Do.

@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // Every table and figure the repo regenerates must be bit-for-bit
 // reproducible under its baked-in seeds: the canalvet simdeterminism
@@ -15,6 +18,31 @@ func TestFlashCrowdDeterministic(t *testing.T) {
 	b := AdmissionFlashCrowd().String()
 	if a != b {
 		t.Fatalf("canalsim flash-crowd output differs between identically-seeded runs:\nrun 1:\n%s\nrun 2:\n%s", a, b)
+	}
+}
+
+func TestTraceExperimentDeterministic(t *testing.T) {
+	run := func() (string, string) {
+		rep, err := TraceExperiment([]string{"canal", "istio"}, 120, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String(), string(js)
+	}
+	s1, j1 := run()
+	s2, j2 := run()
+	if s1 != s2 {
+		t.Fatalf("trace breakdown tables differ between identically-seeded runs:\nrun 1:\n%s\nrun 2:\n%s", s1, s2)
+	}
+	if j1 != j2 {
+		t.Fatal("trace JSON reports differ between identically-seeded runs: span IDs or timestamps are not seed-deterministic")
+	}
+	if !strings.Contains(j1, `"hops"`) || !strings.Contains(s1, "TOTAL") {
+		t.Error("report looks empty")
 	}
 }
 

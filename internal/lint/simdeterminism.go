@@ -25,6 +25,7 @@ var simScopeDirs = []string{
 	"internal/workload",
 	"internal/admission",
 	"internal/keyserver",
+	"internal/trace",
 }
 
 // inSimScope reports whether the package directory is simulation-facing.

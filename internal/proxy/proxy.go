@@ -18,7 +18,7 @@ import (
 	"canalmesh/internal/l7"
 	"canalmesh/internal/netmodel"
 	"canalmesh/internal/sim"
-	"canalmesh/internal/telemetry"
+	"canalmesh/internal/trace"
 )
 
 // Mesh simulates end-to-end delivery of requests under one architecture.
@@ -92,12 +92,22 @@ type step struct {
 	// lat is extra wall-clock latency charged before the CPU work (network
 	// travel from the previous hop plus any handshake waits).
 	lat time.Duration
+	// crypto is the share of cpu spent on symmetric/asymmetric crypto,
+	// attributed separately on the hop's trace span.
+	crypto time.Duration
 }
 
 // runChain walks the steps, charging each hop's latency then CPU, recording
 // one span per hop into tr (when non-nil — the end-to-end observability of
 // §4.1.1), and calls done with the total elapsed time.
-func runChain(s *sim.Sim, tr *telemetry.Trace, steps []step, done func(total time.Duration)) {
+//
+// Each hop span splits its contribution into Net (wire travel plus handshake
+// waits charged before arrival), Queue (wait for a core at the hop's
+// processor, the mechanism behind every latency knee), and CPU (service
+// time, with the crypto share attributed separately). The three segments are
+// exhaustive, so a trace's per-hop sums reconcile exactly with the measured
+// end-to-end latency.
+func runChain(s *sim.Sim, tr *trace.Trace, steps []step, done func(total time.Duration)) {
 	start := s.Now()
 	var next func(i int)
 	next = func(i int) {
@@ -107,18 +117,28 @@ func runChain(s *sim.Sim, tr *telemetry.Trace, steps []step, done func(total tim
 		}
 		st := steps[i]
 		run := func() {
-			hopStart := s.Now()
-			finish := func() {
-				if tr != nil && st.at != nil {
-					tr.Add(st.at.Name, hopStart, s.Now())
-				}
-				next(i + 1)
-			}
+			arrive := s.Now()
 			if st.at == nil {
-				finish()
+				next(i + 1)
 				return
 			}
-			st.at.Proc.Exec(st.cpu, finish)
+			// The queue wait Exec is about to experience: its core picks the
+			// earliest-free core, so the wait equals QueueDelay at submit.
+			queued := st.at.Proc.QueueDelay()
+			st.at.Proc.Exec(st.cpu, func() {
+				if tr != nil {
+					tr.AddHop(trace.Hop{
+						Name:   st.at.Name,
+						Start:  arrive,
+						End:    s.Now(),
+						Net:    st.lat,
+						Queue:  queued,
+						CPU:    st.cpu,
+						Crypto: st.crypto,
+					})
+				}
+				next(i + 1)
+			})
 		}
 		if st.lat > 0 {
 			s.After(st.lat, run)
@@ -140,17 +160,25 @@ type Config struct {
 	// EBPFRedirect selects eBPF (true) or iptables (false) redirection for
 	// architectures that redirect app traffic to a local proxy.
 	EBPFRedirect bool
-	// Tracer, when non-nil, supplies a Trace per request; every hop of the
-	// simulated path records a span into it.
-	Tracer func(req *l7.Request) *telemetry.Trace
+	// Tracer, when non-nil, traces every simulated request: one trace per
+	// Send, one span per hop, finished with the request's status and run
+	// through the tracer's head/tail retention.
+	Tracer *trace.Tracer
 }
 
-// traceFor returns the request's trace, or nil when tracing is off.
-func (c Config) traceFor(req *l7.Request) *telemetry.Trace {
+// startTrace begins the request's trace, or returns nil when tracing is off.
+func (c Config) startTrace(arch string, req *l7.Request) *trace.Trace {
 	if c.Tracer == nil {
 		return nil
 	}
-	return c.Tracer(req)
+	return c.Tracer.Start(arch, req.Method+" "+req.Path)
+}
+
+// finishTrace completes the request's trace with its final status.
+func (c Config) finishTrace(tr *trace.Trace, status int) {
+	if tr != nil {
+		c.Tracer.Finish(tr, status)
+	}
 }
 
 // redirectCost returns the CPU of redirecting one request body to the local

@@ -1,13 +1,15 @@
 package proxy
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
 	"canalmesh/internal/l7"
 	"canalmesh/internal/netmodel"
 	"canalmesh/internal/sim"
-	"canalmesh/internal/telemetry"
+	"canalmesh/internal/trace"
 	"canalmesh/internal/workload"
 )
 
@@ -313,38 +315,47 @@ func TestFig2SaturationLatencySpike(t *testing.T) {
 func TestTracingRecordsEveryHop(t *testing.T) {
 	s := sim.New(1)
 	cfg := newCfg(t, s)
-	traces := map[*l7.Request]*telemetry.Trace{}
-	cfg.Tracer = func(req *l7.Request) *telemetry.Trace {
-		tr := &telemetry.Trace{ID: uint64(len(traces) + 1)}
-		traces[req] = tr
-		return tr
-	}
+	cfg.Tracer = trace.New(trace.Config{Seed: 1, Clock: s.Now})
 	mesh, err := DefaultTestbedSpec(cfg).Build("canal")
 	if err != nil {
 		t.Fatal(err)
 	}
 	req := webReq(1024)
+	req.TLS = true
 	var total time.Duration
 	s.At(0, func() {
 		mesh.Send(req, func(lat time.Duration, _ int) { total = lat })
 	})
 	s.Run()
-	tr := traces[req]
-	if tr == nil {
-		t.Fatal("no trace recorded")
+	kept := cfg.Tracer.Kept()
+	if len(kept) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(kept))
+	}
+	tr := kept[0]
+	if tr.Arch != "canal" || tr.Status != l7.StatusOK {
+		t.Fatalf("trace header wrong: arch=%s status=%d", tr.Arch, tr.Status)
 	}
 	// The Canal path is 9 hops: client app -> node proxy -> gateway ->
 	// node proxy -> server app, then back through all three mesh hops to
 	// the client app.
-	if len(tr.Spans) != 9 {
-		t.Fatalf("spans = %d, want 9: %+v", len(tr.Spans), tr.Spans)
+	if len(tr.Hops()) != 9 {
+		t.Fatalf("hops = %d, want 9: %+v", len(tr.Hops()), tr.Hops())
 	}
 	names := map[string]int{}
-	for _, sp := range tr.Spans {
+	var hopSum, cryptoSum time.Duration
+	for _, sp := range tr.Hops() {
 		names[sp.Name]++
 		if sp.End < sp.Start {
 			t.Errorf("span %s ends before it starts", sp.Name)
 		}
+		if sp.Parent != tr.Root().ID {
+			t.Errorf("span %s not parented on the root", sp.Name)
+		}
+		if got := sp.End - sp.Start; got != sp.Queue+sp.CPU {
+			t.Errorf("span %s window %v != queue %v + cpu %v", sp.Name, got, sp.Queue, sp.CPU)
+		}
+		hopSum += sp.Net + sp.Queue + sp.CPU
+		cryptoSum += sp.Crypto
 	}
 	if names["canal/gateway"] != 2 {
 		t.Errorf("gateway should appear on request and response: %v", names)
@@ -352,13 +363,56 @@ func TestTracingRecordsEveryHop(t *testing.T) {
 	if names["canal/client-app"] != 2 || names["canal/node-client"] != 2 || names["canal/node-server"] != 2 {
 		t.Errorf("each mesh hop should appear on request and response: %v", names)
 	}
-	// The trace covers the full request (hop spans exclude network travel,
-	// so the total must be >= the covered span and >= each hop).
-	if tr.Total() > total {
-		t.Errorf("trace total %v exceeds measured latency %v", tr.Total(), total)
+	// The per-hop net+queue+cpu segments are exhaustive: they reconcile
+	// exactly with the measured end-to-end latency and the root span.
+	if hopSum != total {
+		t.Errorf("per-hop sum %v != end-to-end latency %v", hopSum, total)
 	}
-	if tr.Total() <= 0 {
-		t.Error("trace should cover a positive window")
+	if tr.Total() != total {
+		t.Errorf("root span %v != measured latency %v", tr.Total(), total)
+	}
+	if cryptoSum <= 0 {
+		t.Error("TLS request should attribute crypto time on mesh hops")
+	}
+}
+
+func TestTraceTreesDeterministic(t *testing.T) {
+	// Two identically-seeded runs must serialize to byte-identical trace
+	// trees — IDs, sampling decisions, timestamps, and attribution all flow
+	// from the seed. Safe under -count=2: every run builds fresh state.
+	run := func() []byte {
+		s := sim.New(5)
+		cfg := newCfg(t, s)
+		cfg.Asym = LocalSoftwareAsym(cfg.Costs)
+		cfg.Tracer = trace.New(trace.Config{Seed: 5, Clock: s.Now, HeadRate: 0.5, SlowThreshold: time.Millisecond})
+		mesh, err := DefaultTestbedSpec(cfg).Build("canal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			at := time.Duration(i) * 5 * time.Millisecond
+			newConn := i%4 == 0
+			s.At(at, func() {
+				r := webReq(1024)
+				r.TLS = true
+				r.NewConnection = newConn
+				mesh.Send(r, func(time.Duration, int) {})
+			})
+		}
+		s.Run()
+		all := append(cfg.Tracer.Kept(), cfg.Tracer.Tail()...)
+		js, err := json.Marshal(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace trees differ between identically-seeded runs:\nrun 1: %s\nrun 2: %s", a, b)
+	}
+	if len(a) < 100 {
+		t.Fatalf("suspiciously small serialized trace set: %s", a)
 	}
 }
 

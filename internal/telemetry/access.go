@@ -31,48 +31,99 @@ type AccessEntry struct {
 	Status   int    // L7 only; 0 at L4
 	Latency  time.Duration
 	BodySize int
+	// TraceID joins the log line to its distributed trace (hex W3C trace
+	// id); empty when the request carried no trace.
+	TraceID string
 }
 
 // String renders the entry in a single line.
 func (e AccessEntry) String() string {
+	var s string
 	if e.Layer == AccessL4 {
-		return fmt.Sprintf("%v L4 %s tenant=%s svc=%s src=%s lat=%v bytes=%d",
+		s = fmt.Sprintf("%v L4 %s tenant=%s svc=%s src=%s lat=%v bytes=%d",
 			e.At, e.Where, e.Tenant, e.Service, e.SrcPod, e.Latency, e.BodySize)
+	} else {
+		s = fmt.Sprintf("%v L7 %s tenant=%s svc=%s src=%s %s %s -> %d lat=%v bytes=%d",
+			e.At, e.Where, e.Tenant, e.Service, e.SrcPod, e.Method, e.Path, e.Status, e.Latency, e.BodySize)
 	}
-	return fmt.Sprintf("%v L7 %s tenant=%s svc=%s src=%s %s %s -> %d lat=%v bytes=%d",
-		e.At, e.Where, e.Tenant, e.Service, e.SrcPod, e.Method, e.Path, e.Status, e.Latency, e.BodySize)
+	if e.TraceID != "" {
+		s += " trace=" + e.TraceID
+	}
+	return s
 }
 
-// AccessLog is an in-memory structured access log.
+// AccessLog is an in-memory structured access log. By default it grows
+// without bound, which suits finite simulation runs; the live gateway path
+// calls SetCapacity to turn it into a ring that retains only the newest
+// entries under sustained load.
 type AccessLog struct {
 	mu      sync.Mutex
 	entries []AccessEntry
+	cap     int // 0 = unbounded
+	head    int // index of the oldest entry once the ring has wrapped
+	dropped uint64
 }
 
-// Log appends one entry.
+// SetCapacity bounds the log to the newest n entries (n <= 0 restores
+// unbounded growth). If more than n entries are already present, the oldest
+// are discarded immediately.
+func (l *AccessLog) SetCapacity(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = l.ordered()
+	l.head = 0
+	l.cap = n
+	if n > 0 && len(l.entries) > n {
+		l.dropped += uint64(len(l.entries) - n)
+		l.entries = append([]AccessEntry(nil), l.entries[len(l.entries)-n:]...)
+	}
+}
+
+// Log appends one entry, evicting the oldest when a capacity is set and
+// reached.
 func (l *AccessLog) Log(e AccessEntry) {
 	l.mu.Lock()
-	l.entries = append(l.entries, e)
+	if l.cap > 0 && len(l.entries) == l.cap {
+		l.entries[l.head] = e
+		l.head = (l.head + 1) % l.cap
+		l.dropped++
+	} else {
+		l.entries = append(l.entries, e)
+	}
 	l.mu.Unlock()
 }
 
-// Entries returns a copy of all entries.
-func (l *AccessLog) Entries() []AccessEntry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]AccessEntry, len(l.entries))
-	copy(out, l.entries)
+// ordered returns the entries oldest-first; callers must hold mu.
+func (l *AccessLog) ordered() []AccessEntry {
+	out := make([]AccessEntry, 0, len(l.entries))
+	out = append(out, l.entries[l.head:]...)
+	out = append(out, l.entries[:l.head]...)
 	return out
 }
 
-// Len returns the entry count.
+// Entries returns a copy of the retained entries, oldest first.
+func (l *AccessLog) Entries() []AccessEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ordered()
+}
+
+// Len returns the retained entry count.
 func (l *AccessLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.entries)
 }
 
-// CountStatus returns how many L7 entries carry the given status code.
+// Dropped returns how many entries have been evicted or discarded by the
+// capacity bound.
+func (l *AccessLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// CountStatus returns how many retained L7 entries carry the given status.
 func (l *AccessLog) CountStatus(status int) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -85,39 +136,19 @@ func (l *AccessLog) CountStatus(status int) int {
 	return n
 }
 
-// Span is one hop of a request trace.
-type Span struct {
-	Name  string
-	Start time.Duration
-	End   time.Duration
-}
-
-// Trace accumulates the spans of one end-to-end request, enabling the
-// precise fault pinpointing that requires instrumentation on all critical
-// nodes (§4.1.1 Observability).
-type Trace struct {
-	ID    uint64
-	Spans []Span
-}
-
-// Add appends a span.
-func (t *Trace) Add(name string, start, end time.Duration) {
-	t.Spans = append(t.Spans, Span{Name: name, Start: start, End: end})
-}
-
-// Total returns the wall time from the first span start to the last span end.
-func (t *Trace) Total() time.Duration {
-	if len(t.Spans) == 0 {
-		return 0
+// FindTrace returns the retained entries recorded for the given trace ID,
+// oldest first — the log side of a log/trace join.
+func (l *AccessLog) FindTrace(traceID string) []AccessEntry {
+	if traceID == "" {
+		return nil
 	}
-	start, end := t.Spans[0].Start, t.Spans[0].End
-	for _, s := range t.Spans[1:] {
-		if s.Start < start {
-			start = s.Start
-		}
-		if s.End > end {
-			end = s.End
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []AccessEntry
+	for _, e := range l.ordered() {
+		if e.TraceID == traceID {
+			out = append(out, e)
 		}
 	}
-	return end - start
+	return out
 }

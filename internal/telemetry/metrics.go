@@ -1,7 +1,8 @@
 // Package telemetry provides the observability substrate of the mesh:
 // counters, gauges, latency histograms and exact-percentile samples, sampled
-// time series, structured access logs, request tracing, and the full-mesh
-// prober the paper uses to "prove absence of failure" (§6.4).
+// time series, structured access logs (joinable to distributed traces from
+// internal/trace via AccessEntry.TraceID), and the full-mesh prober the
+// paper uses to "prove absence of failure" (§6.4).
 package telemetry
 
 import (

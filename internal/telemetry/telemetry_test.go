@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -209,17 +210,57 @@ func TestAccessLog(t *testing.T) {
 	}
 }
 
-func TestTraceTotal(t *testing.T) {
-	tr := Trace{ID: 1}
-	tr.Add("client", 0, 10*time.Millisecond)
-	tr.Add("gateway", 2*time.Millisecond, 8*time.Millisecond)
-	tr.Add("server", 3*time.Millisecond, 12*time.Millisecond)
-	if got := tr.Total(); got != 12*time.Millisecond {
-		t.Errorf("Total = %v, want 12ms", got)
+func TestAccessLogRing(t *testing.T) {
+	var l AccessLog
+	l.SetCapacity(3)
+	for i := 0; i < 7; i++ {
+		l.Log(AccessEntry{Layer: AccessL7, Where: "gw", Path: "/", Status: 200 + i})
 	}
-	empty := Trace{}
-	if empty.Total() != 0 {
-		t.Error("empty trace total should be 0")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity 3", l.Len())
+	}
+	if l.Dropped() != 4 {
+		t.Errorf("Dropped = %d, want 4", l.Dropped())
+	}
+	entries := l.Entries()
+	for i, e := range entries {
+		if want := 204 + i; e.Status != want {
+			t.Errorf("entry %d status = %d, want %d (oldest-first of the newest 3)", i, e.Status, want)
+		}
+	}
+	if n := l.CountStatus(206); n != 1 {
+		t.Errorf("CountStatus(206) = %d after wrap", n)
+	}
+	// Shrinking an already-wrapped log keeps the newest entries.
+	l.SetCapacity(2)
+	entries = l.Entries()
+	if len(entries) != 2 || entries[0].Status != 205 || entries[1].Status != 206 {
+		t.Errorf("after shrink: %+v", entries)
+	}
+	// Restoring unbounded growth keeps appending past the old cap.
+	l.SetCapacity(0)
+	for i := 0; i < 5; i++ {
+		l.Log(AccessEntry{Layer: AccessL7, Status: 300 + i})
+	}
+	if l.Len() != 7 {
+		t.Errorf("unbounded Len = %d, want 7", l.Len())
+	}
+}
+
+func TestAccessLogTraceJoin(t *testing.T) {
+	var l AccessLog
+	l.Log(AccessEntry{Layer: AccessL7, Path: "/a", Status: 200, TraceID: "aabb"})
+	l.Log(AccessEntry{Layer: AccessL7, Path: "/b", Status: 200, TraceID: "ccdd"})
+	l.Log(AccessEntry{Layer: AccessL4, TraceID: "aabb"})
+	got := l.FindTrace("aabb")
+	if len(got) != 2 || got[0].Path != "/a" || got[1].Layer != AccessL4 {
+		t.Fatalf("FindTrace = %+v", got)
+	}
+	if l.FindTrace("") != nil {
+		t.Error("empty trace id should match nothing")
+	}
+	if s := got[0].String(); !strings.Contains(s, "trace=aabb") {
+		t.Errorf("String lacks trace id: %s", s)
 	}
 }
 

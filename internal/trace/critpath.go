@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// HopStat aggregates one position of the request path across many traces of
+// the same architecture. Durations are sums over the contributing spans;
+// divide by Count for means.
+type HopStat struct {
+	// Index is the hop's position on the path (0 = first hop after the
+	// client issues the request). The same component appearing on request
+	// and response legs yields distinct entries.
+	Index  int           `json:"index"`
+	Name   string        `json:"name"`
+	Count  int           `json:"count"`
+	Net    time.Duration `json:"net"`
+	Queue  time.Duration `json:"queue"`
+	CPU    time.Duration `json:"cpu"`
+	Crypto time.Duration `json:"crypto"`
+}
+
+// Mean returns the mean total contribution of this hop (net + queue + cpu).
+func (h HopStat) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return (h.Net + h.Queue + h.CPU) / time.Duration(h.Count)
+}
+
+// Breakdown is the critical-path dissection of a set of traces: an ordered
+// per-hop latency attribution whose rows sum (within integer rounding) to
+// the mean end-to-end latency, reconciling span data with the aggregate
+// histograms the experiments already report.
+type Breakdown struct {
+	Arch   string    `json:"arch"`
+	Traces int       `json:"traces"`
+	Hops   []HopStat `json:"hops"`
+	// Total is the summed end-to-end (root span) duration over all traces.
+	Total time.Duration `json:"total"`
+}
+
+// Analyze collapses traces into a Breakdown. Hops are grouped by (path
+// index, name), so traces with divergent paths (e.g. early local responses)
+// aggregate cleanly alongside full round trips.
+func Analyze(traces []*Trace) *Breakdown {
+	b := &Breakdown{}
+	for _, t := range traces {
+		if len(t.Spans) == 0 {
+			continue
+		}
+		if b.Arch == "" {
+			b.Arch = t.Arch
+		}
+		b.Traces++
+		b.Total += t.Total()
+		for i, sp := range t.Hops() {
+			st := b.hop(i, sp.Name)
+			st.Count++
+			st.Net += sp.Net
+			st.Queue += sp.Queue
+			st.CPU += sp.CPU
+			st.Crypto += sp.Crypto
+		}
+	}
+	sort.SliceStable(b.Hops, func(i, j int) bool {
+		if b.Hops[i].Index != b.Hops[j].Index {
+			return b.Hops[i].Index < b.Hops[j].Index
+		}
+		return b.Hops[i].Name < b.Hops[j].Name
+	})
+	return b
+}
+
+// hop finds or creates the stat bucket for (index, name).
+func (b *Breakdown) hop(index int, name string) *HopStat {
+	for i := range b.Hops {
+		if b.Hops[i].Index == index && b.Hops[i].Name == name {
+			return &b.Hops[i]
+		}
+	}
+	b.Hops = append(b.Hops, HopStat{Index: index, Name: name})
+	return &b.Hops[len(b.Hops)-1]
+}
+
+// MeanTotal returns the mean end-to-end latency across the analyzed traces.
+func (b *Breakdown) MeanTotal() time.Duration {
+	if b.Traces == 0 {
+		return 0
+	}
+	return b.Total / time.Duration(b.Traces)
+}
+
+// HopSum returns the mean per-trace sum of all hop contributions
+// (net + queue + cpu). For exhaustive instrumentation it equals MeanTotal
+// up to integer division, which is exactly the reconciliation the
+// acceptance table asserts.
+func (b *Breakdown) HopSum() time.Duration {
+	if b.Traces == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, h := range b.Hops {
+		sum += h.Net + h.Queue + h.CPU
+	}
+	return sum / time.Duration(b.Traces)
+}
+
+// CriticalPath returns a trace's hop spans ordered by start time (stable on
+// the recorded path order for ties), i.e. the sequential chain a request
+// actually traversed.
+func CriticalPath(t *Trace) []Span {
+	hops := append([]Span(nil), t.Hops()...)
+	sort.SliceStable(hops, func(i, j int) bool { return hops[i].Start < hops[j].Start })
+	return hops
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the W3C Trace Context propagation header carried by
+// the live data path (NodeAgent -> gateway -> upstream).
+const TraceparentHeader = "traceparent"
+
+// flagSampled is the W3C trace-flags bit for a head-sampled trace.
+const flagSampled = 0x01
+
+// Traceparent renders a version-00 traceparent header value:
+// 00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>.
+func Traceparent(id TraceID, span SpanID, sampled bool) string {
+	flags := 0
+	if sampled {
+		flags = flagSampled
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", id, span, flags)
+}
+
+// ParseTraceparent parses a traceparent header value, returning the trace
+// ID, the parent span ID, and the sampled flag. Per the W3C spec it rejects
+// the all-zero IDs, non-hex fields, and the reserved version ff; unknown
+// future versions are accepted as long as the version-00 prefix fields
+// parse.
+func ParseTraceparent(s string) (TraceID, SpanID, bool, error) {
+	var id TraceID
+	var span SpanID
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 {
+		return id, span, false, fmt.Errorf("trace: traceparent %q: want 4 dash-separated fields", s)
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return id, span, false, fmt.Errorf("trace: traceparent %q: bad field lengths", s)
+	}
+	version, err := hex.DecodeString(parts[0])
+	if err != nil || version[0] == 0xff {
+		return id, span, false, fmt.Errorf("trace: traceparent %q: bad version", s)
+	}
+	if version[0] == 0 && len(parts) != 4 {
+		return id, span, false, fmt.Errorf("trace: traceparent %q: version 00 allows exactly 4 fields", s)
+	}
+	rawID, err := hex.DecodeString(parts[1])
+	if err != nil {
+		return id, span, false, fmt.Errorf("trace: traceparent %q: bad trace id", s)
+	}
+	rawSpan, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return id, span, false, fmt.Errorf("trace: traceparent %q: bad span id", s)
+	}
+	flags, err := hex.DecodeString(parts[3])
+	if err != nil {
+		return id, span, false, fmt.Errorf("trace: traceparent %q: bad flags", s)
+	}
+	copy(id[:], rawID)
+	copy(span[:], rawSpan)
+	if id.IsZero() || span.IsZero() {
+		return TraceID{}, SpanID{}, false, fmt.Errorf("trace: traceparent %q: zero trace/span id", s)
+	}
+	return id, span, flags[0]&flagSampled != 0, nil
+}

@@ -19,3 +19,8 @@ fi
 go vet ./...
 go run ./cmd/canalvet ./...
 go test -race ./...
+
+# Smoke the tracing pipeline end to end: the per-hop breakdown tables must
+# render and the JSON report must export.
+go run ./cmd/canalsim trace -arch canal -arch istio -requests 50 -json /tmp/canal-trace-breakdown.json >/dev/null
+test -s /tmp/canal-trace-breakdown.json
