@@ -371,6 +371,17 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				out.Header.Set(trace.TraceparentHeader, trace.Traceparent(tr.ID, tr.Root().ID, tr.Sampled))
 			}
 		},
+		ModifyResponse: func(resp *http.Response) error {
+			// Record the upstream's real status so the trace, the access
+			// log, and tail retention ("errored traces are always kept")
+			// see 4xx/5xx exchanges as errors, and stamp the trace ID on
+			// upstream error responses so callers can join them.
+			status = resp.StatusCode
+			if resp.StatusCode >= 400 && tr != nil {
+				resp.Header.Set(HeaderTrace, tr.ID.String())
+			}
+			return nil
+		},
 		ErrorHandler: func(w http.ResponseWriter, _ *http.Request, err error) {
 			proxied = false
 			status = g.fail(w, r, tr, tenant, service, source, http.StatusBadGateway, "canal: upstream: "+err.Error(), started)
@@ -388,7 +399,7 @@ func (g *GatewayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		tr.AddHop(trace.Hop{Name: "gateway/upstream", Start: upstreamStart, End: g.tracer.Now()})
 	}
 	if proxied {
-		g.logReq(r, tenant, service, source, http.StatusOK, started, traceIDString(tr))
+		g.logReq(r, tenant, service, source, status, started, traceIDString(tr))
 	}
 }
 

@@ -180,6 +180,42 @@ func TestGatewayShedAndUpstreamErrorsCarryTraceHeader(t *testing.T) {
 	}
 }
 
+func TestGatewayRecordsUpstreamStatus(t *testing.T) {
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+	_, agent, gw := testMesh(t, ServiceConfig{Service: "web", DefaultSubset: "v1"},
+		map[string][]string{"v1": {failing.URL}}, false)
+
+	resp, err := agent.Get("web", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	// Upstream 5xx responses carry the trace ID so failures are joinable.
+	h := resp.Header.Get(HeaderTrace)
+	if len(h) != 32 {
+		t.Fatalf("upstream 500 %s header = %q, want 32-hex trace ID", HeaderTrace, h)
+	}
+	// The trace and the access log both see the upstream's real status,
+	// not a blanket 200.
+	kept := gw.Tracer().Kept()
+	if len(kept) != 1 || kept[0].Status != http.StatusInternalServerError {
+		t.Fatalf("kept = %+v, want one trace with status 500", kept)
+	}
+	if kept[0].ID.String() != h {
+		t.Errorf("response trace header %s != kept trace %s", h, kept[0].ID)
+	}
+	entries := gw.AccessLog().FindTrace(h)
+	if len(entries) != 1 || entries[0].Status != http.StatusInternalServerError {
+		t.Fatalf("access-log join = %+v, want one entry with status 500", entries)
+	}
+}
+
 func TestGatewayMirrorForwardsBodyAndHeaders(t *testing.T) {
 	type seen struct {
 		method, path, subset, custom, body string

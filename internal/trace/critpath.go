@@ -43,7 +43,10 @@ type Breakdown struct {
 
 // Analyze collapses traces into a Breakdown. Hops are grouped by (path
 // index, name), so traces with divergent paths (e.g. early local responses)
-// aggregate cleanly alongside full round trips.
+// aggregate cleanly alongside full round trips. Hops with no segment
+// attribution at all (live-path spans record only Start/End, since the real
+// network offers no queue/CPU split) contribute their span duration as Net,
+// so breakdowns of live traces don't read as zero time.
 func Analyze(traces []*Trace) *Breakdown {
 	b := &Breakdown{}
 	for _, t := range traces {
@@ -58,9 +61,13 @@ func Analyze(traces []*Trace) *Breakdown {
 		for i, sp := range t.Hops() {
 			st := b.hop(i, sp.Name)
 			st.Count++
-			st.Net += sp.Net
-			st.Queue += sp.Queue
-			st.CPU += sp.CPU
+			if sp.Net == 0 && sp.Queue == 0 && sp.CPU == 0 {
+				st.Net += sp.End - sp.Start
+			} else {
+				st.Net += sp.Net
+				st.Queue += sp.Queue
+				st.CPU += sp.CPU
+			}
 			st.Crypto += sp.Crypto
 		}
 	}

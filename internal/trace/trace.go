@@ -159,23 +159,36 @@ type Config struct {
 	SlowThreshold time.Duration
 	// TailCap bounds the tail ring; default 256.
 	TailCap int
+	// KeptCap bounds head-sampled retention: when > 0 the kept set is a
+	// ring holding the newest KeptCap traces. Zero keeps everything, which
+	// is right for bounded simulation runs but must not be used on a
+	// long-lived live path.
+	KeptCap int
 }
 
 // defaultTailCap bounds the tail ring when Config.TailCap is zero.
 const defaultTailCap = 256
 
+// liveKeptCap bounds head-sampled retention on live-path tracers: a
+// long-lived HTTP process must not retain a trace per request forever
+// (the same rationale as the gateway's bounded access log).
+const liveKeptCap = 4096
+
 // Tracer creates, finishes, and retains traces. It is safe for concurrent
 // use on the live path; under the single-threaded simulator the mutex is
 // uncontended.
 type Tracer struct {
-	mu      sync.Mutex
-	rng     *rand.Rand
-	now     func() time.Duration
-	head    float64
-	slow    time.Duration
-	kept    []*Trace
-	tail    ring
-	started uint64
+	mu   sync.Mutex
+	rng  *rand.Rand
+	now  func() time.Duration
+	head float64
+	slow time.Duration
+	// kept holds head-sampled traces unbounded (sim path); when keptRing
+	// is non-nil it is used instead and retention is bounded (live path).
+	kept     []*Trace
+	keptRing *ring
+	tail     ring
+	started  uint64
 }
 
 // New returns a tracer drawing IDs from a rand.Rand seeded with cfg.Seed and
@@ -192,23 +205,30 @@ func New(cfg Config) *Tracer {
 	if cap <= 0 {
 		cap = defaultTailCap
 	}
+	var keptRing *ring
+	if cfg.KeptCap > 0 {
+		keptRing = &ring{buf: make([]*Trace, cfg.KeptCap)}
+	}
 	return &Tracer{
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		now:  cfg.Clock,
-		head: head,
-		slow: cfg.SlowThreshold,
-		tail: ring{buf: make([]*Trace, cap)},
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		now:      cfg.Clock,
+		head:     head,
+		slow:     cfg.SlowThreshold,
+		keptRing: keptRing,
+		tail:     ring{buf: make([]*Trace, cap)},
 	}
 }
 
 // NewLive returns a tracer for the real data path: timestamps are wall-clock
-// offsets from the construction instant and the ID generator is seeded from
-// that instant.
+// offsets from the construction instant, the ID generator is seeded from
+// that instant, and head-sampled retention is bounded (newest liveKeptCap
+// traces) so a long-lived process cannot grow without limit under load.
 func NewLive() *Tracer {
 	epoch := time.Now() //canal:allow simdeterminism live-path tracer epoch and ID seed come from the wall clock by design
 	return New(Config{
-		Seed:  epoch.UnixNano(),
-		Clock: func() time.Duration { return time.Since(epoch) }, //canal:allow simdeterminism live-path span timestamps are wall-clock offsets from the tracer epoch
+		Seed:    epoch.UnixNano(),
+		Clock:   func() time.Duration { return time.Since(epoch) }, //canal:allow simdeterminism live-path span timestamps are wall-clock offsets from the tracer epoch
+		KeptCap: liveKeptCap,
 	})
 }
 
@@ -270,9 +290,10 @@ func (tr *Tracer) start(id TraceID, parent, root SpanID, arch, name string, samp
 }
 
 // Finish stamps the root span's end, records the status, and applies
-// retention: head-sampled traces are always kept; unsampled traces that are
-// errored (HTTP >= 400) or slower than SlowThreshold enter the bounded tail
-// ring, evicting the oldest tail entry when full.
+// retention: head-sampled traces are kept (bounded to the newest KeptCap
+// when configured); unsampled traces that are errored (HTTP >= 400) or
+// slower than SlowThreshold enter the bounded tail ring, evicting the
+// oldest tail entry when full.
 func (tr *Tracer) Finish(t *Trace, status int) {
 	end := tr.now()
 	tr.mu.Lock()
@@ -280,7 +301,11 @@ func (tr *Tracer) Finish(t *Trace, status int) {
 	t.Spans[0].End = end
 	t.Status = status
 	if t.Sampled {
-		tr.kept = append(tr.kept, t)
+		if tr.keptRing != nil {
+			tr.keptRing.push(t)
+		} else {
+			tr.kept = append(tr.kept, t)
+		}
 		return
 	}
 	if status >= 400 || (tr.slow > 0 && t.Total() >= tr.slow) {
@@ -288,10 +313,14 @@ func (tr *Tracer) Finish(t *Trace, status int) {
 	}
 }
 
-// Kept returns the head-sampled finished traces in completion order.
+// Kept returns the head-sampled finished traces in completion order (the
+// newest KeptCap of them when retention is bounded).
 func (tr *Tracer) Kept() []*Trace {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
+	if tr.keptRing != nil {
+		return tr.keptRing.items()
+	}
 	out := make([]*Trace, len(tr.kept))
 	copy(out, tr.kept)
 	return out

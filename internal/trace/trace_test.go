@@ -88,6 +88,35 @@ func TestHeadSamplingBoundaries(t *testing.T) {
 	}
 }
 
+func TestKeptRingBoundsRetention(t *testing.T) {
+	clock, advance := testClock()
+	tr := New(Config{Seed: 5, Clock: clock, KeptCap: 4})
+	for i := 0; i < 10; i++ {
+		tt := tr.Start("canal", "GET /")
+		advance(time.Millisecond)
+		tr.Finish(tt, 200+i)
+	}
+	kept := tr.Kept()
+	if len(kept) != 4 {
+		t.Fatalf("kept holds %d traces, want capacity 4", len(kept))
+	}
+	for i, tt := range kept {
+		if want := 200 + 6 + i; tt.Status != want {
+			t.Fatalf("kept slot %d holds status %d, want %d (oldest-first of the newest 4)", i, tt.Status, want)
+		}
+	}
+}
+
+func TestLiveTracerBoundsKept(t *testing.T) {
+	tr := NewLive()
+	for i := 0; i < liveKeptCap+10; i++ {
+		tr.Finish(tr.Start("gateway", "GET /"), 200)
+	}
+	if got := len(tr.Kept()); got != liveKeptCap {
+		t.Fatalf("live tracer kept %d traces, want bounded at %d", got, liveKeptCap)
+	}
+}
+
 func TestTailKeepsSlowAndErrored(t *testing.T) {
 	clock, advance := testClock()
 	tr := New(Config{Seed: 5, Clock: clock, HeadRate: 0.0001, SlowThreshold: 10 * time.Millisecond, TailCap: 8})
@@ -238,6 +267,25 @@ func TestAnalyzeReconciles(t *testing.T) {
 	}
 	if want := 1150 * time.Microsecond; b.MeanTotal() != want {
 		t.Fatalf("mean total = %v, want %v", b.MeanTotal(), want)
+	}
+}
+
+func TestAnalyzeFallsBackToSpanDuration(t *testing.T) {
+	clock, advance := testClock()
+	tr := New(Config{Seed: 23, Clock: clock})
+	// A live-path style hop: only Start/End, no segment attribution.
+	tt := tr.Start("gateway", "GET /")
+	h := Hop{Name: "gateway/upstream", Start: clock()}
+	advance(3 * time.Millisecond)
+	h.End = clock()
+	tt.AddHop(h)
+	tr.Finish(tt, 200)
+	b := Analyze(tr.Kept())
+	if want := 3 * time.Millisecond; b.Hops[0].Mean() != want {
+		t.Fatalf("span-only hop mean = %v, want %v (End-Start attributed as Net)", b.Hops[0].Mean(), want)
+	}
+	if b.HopSum() != b.MeanTotal() {
+		t.Fatalf("per-hop sum %v does not reconcile with mean total %v", b.HopSum(), b.MeanTotal())
 	}
 }
 
