@@ -10,6 +10,7 @@ package canal
 // and print the rows/series themselves with cmd/canalbench.
 
 import (
+	"context"
 	"testing"
 
 	"canalmesh/internal/bench"
@@ -55,19 +56,19 @@ func BenchmarkTab03L7Adoption(b *testing.B) {
 }
 
 func BenchmarkFig10LightLatency(b *testing.B) {
-	run(b, func() bench.Result { return bench.Fig10LightLatency() })
+	run(b, func() bench.Result { return bench.Fig10LightLatency(context.Background()) })
 }
 
 func BenchmarkFig11ThroughputKnee(b *testing.B) {
-	run(b, func() bench.Result { return bench.Fig11ThroughputKnee() })
+	run(b, func() bench.Result { return bench.Fig11ThroughputKnee(context.Background()) })
 }
 
 func BenchmarkFig12CryptoOffloadCPU(b *testing.B) {
-	run(b, func() bench.Result { return bench.Fig12CryptoOffloadCPU() })
+	run(b, func() bench.Result { return bench.Fig12CryptoOffloadCPU(context.Background()) })
 }
 
 func BenchmarkFig13CPUComparison(b *testing.B) {
-	run(b, func() bench.Result { return bench.Fig13CPUComparison() })
+	run(b, func() bench.Result { return bench.Fig13CPUComparison(context.Background()) })
 }
 
 func BenchmarkFig14ConfigCompletion(b *testing.B) {
@@ -83,7 +84,7 @@ func BenchmarkFig16NoisyNeighbor(b *testing.B) {
 }
 
 func BenchmarkFig17ScalingCDF(b *testing.B) {
-	run(b, func() bench.Result { return bench.Fig17ScalingCDF() })
+	run(b, func() bench.Result { return bench.Fig17ScalingCDF(context.Background()) })
 }
 
 func BenchmarkTab04ScalingTimeline(b *testing.B) {
@@ -139,11 +140,11 @@ func BenchmarkFig26SessionConsistency(b *testing.B) {
 }
 
 func BenchmarkFig27OffloadThroughput(b *testing.B) {
-	run(b, func() bench.Result { return bench.Fig27OffloadThroughput() })
+	run(b, func() bench.Result { return bench.Fig27OffloadThroughput(context.Background()) })
 }
 
 func BenchmarkFig28OffloadLatency(b *testing.B) {
-	run(b, func() bench.Result { return bench.Fig28OffloadLatency() })
+	run(b, func() bench.Result { return bench.Fig28OffloadLatency(context.Background()) })
 }
 
 func BenchmarkFig29EBPFThroughput(b *testing.B) {

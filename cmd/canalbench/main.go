@@ -3,12 +3,21 @@
 //
 // Usage:
 //
-//	canalbench              # run everything, in paper order
-//	canalbench fig11 table5 # run selected experiments by ID
-//	canalbench -list        # list experiment IDs
+//	canalbench                     # run everything, in paper order
+//	canalbench fig11 table5       # run selected experiments by ID
+//	canalbench -list              # list experiment IDs
+//	canalbench -parallel 4        # run up to 4 experiments concurrently
+//	canalbench -timeout 2m        # bound each experiment's wall time
+//	canalbench -json timings.json # write the machine-readable timing report
+//
+// Experiments execute on the bench.Runner worker pool; rendered results
+// stream to stdout in paper order regardless of the parallelism level, so
+// stdout is byte-identical between -parallel 1 and -parallel N. Timing and
+// diagnostics go to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,8 +27,15 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	ablations := flag.Bool("ablations", false, "include design-choice ablation studies")
+	parallel := flag.Int("parallel", 0, "experiments to run concurrently (0 = min(GOMAXPROCS, experiments))")
+	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
+	jsonPath := flag.String("json", "", "write the timing report as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	experiments := bench.All()
@@ -30,26 +46,70 @@ func main() {
 		for _, e := range experiments {
 			fmt.Printf("%-8s %s\n", e.ID, e.Name)
 		}
-		return
+		return 0
 	}
 
-	selected := map[string]bool{}
-	for _, id := range flag.Args() {
-		selected[id] = true
-	}
-	ran := 0
-	for _, e := range experiments {
-		if len(selected) > 0 && !selected[e.ID] {
-			continue
+	exit := 0
+	if len(flag.Args()) > 0 {
+		known := map[string]bool{}
+		for _, e := range experiments {
+			known[e.ID] = true
 		}
-		start := time.Now()
-		res := e.Run()
-		fmt.Println(res.String())
-		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		ran++
+		selected := map[string]bool{}
+		for _, id := range flag.Args() {
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "canalbench: unknown experiment %q (use -list)\n", id)
+				exit = 1
+				continue
+			}
+			selected[id] = true
+		}
+		var keep []bench.Experiment
+		for _, e := range experiments {
+			if selected[e.ID] {
+				keep = append(keep, e)
+			}
+		}
+		experiments = keep
 	}
-	if ran == 0 {
+	if len(experiments) == 0 {
 		fmt.Fprintf(os.Stderr, "canalbench: no experiment matched %v (use -list)\n", flag.Args())
-		os.Exit(1)
+		return 1
 	}
+
+	runner := bench.NewRunner(bench.Options{
+		Parallel: *parallel,
+		Timeout:  *timeout,
+		Emit: func(r bench.ExperimentResult) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "canalbench: %s failed: %v\n", r.ID, r.Err)
+				return
+			}
+			fmt.Println(r.Rendered)
+			fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", r.ID, r.Wall.Round(time.Millisecond))
+		},
+	})
+	report := runner.Run(context.Background(), experiments)
+
+	if failed := report.Failed(); len(failed) > 0 {
+		exit = 1
+	}
+	fmt.Fprintf(os.Stderr, "canalbench: %d experiments in %v (serial sum %v, %.1fx speedup, parallel=%d)\n",
+		len(report.Results), report.Wall.Round(time.Millisecond),
+		report.SerialWall().Round(time.Millisecond), report.Speedup(), report.Parallel)
+
+	if *jsonPath != "" {
+		data, err := report.TimingJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "canalbench: timing report: %v\n", err)
+			return 1
+		}
+		if *jsonPath == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "canalbench: timing report: %v\n", err)
+			return 1
+		}
+	}
+	return exit
 }

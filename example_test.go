@@ -66,7 +66,7 @@ func ExampleNewScenario() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := svc.Drive("az1", 100, 20*time.Second)
+	stats := svc.Drive(canal.Constant(100).From("az1").For(20 * time.Second))
 	if err := sc.FailAZ("az1", 5*time.Second); err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -17,11 +18,11 @@ import (
 // the paper's own tables and figures.
 func Ablations() []Experiment {
 	return []Experiment{
-		{"abl-incremental", "Incremental vs full-set configuration push", func() Result { return AblationIncrementalPush() }},
-		{"abl-chain", "Beamer replica-chain length under consecutive scale-ins", func() Result { return AblationBeamerChainLength() }},
-		{"abl-shard", "Shard size: availability vs blast radius", func() Result { return AblationShardSize() }},
-		{"abl-batch", "AVX-512 batch-fill timeout sweep", func() Result { return AblationBatchTimeout() }},
-		{"abl-proxyless", "Proxyless mode: what each deployment variant keeps", func() Result { return AblationProxyless() }},
+		{"abl-incremental", "Incremental vs full-set configuration push", func(ctx context.Context) Result { return AblationIncrementalPush(ctx) }},
+		{"abl-chain", "Beamer replica-chain length under consecutive scale-ins", func(ctx context.Context) Result { return AblationBeamerChainLength(ctx) }},
+		{"abl-shard", "Shard size: availability vs blast radius", bare(func() Result { return AblationShardSize() })},
+		{"abl-batch", "AVX-512 batch-fill timeout sweep", bare(func() Result { return AblationBatchTimeout() })},
+		{"abl-proxyless", "Proxyless mode: what each deployment variant keeps", bare(func() Result { return AblationProxyless() })},
 	}
 }
 
@@ -60,17 +61,32 @@ func AblationProxyless() *Table {
 // AblationIncrementalPush quantifies what incremental-update support would
 // be worth to each control-plane model: one routing change touching 5
 // endpoints and 2 rules, pushed full-set (today's Istio practice, §2.1)
-// versus as a delta.
-func AblationIncrementalPush() *Table {
+// versus as a delta. Each pod-count point builds its own cluster, so the
+// three sizes run as a parallel sweep.
+func AblationIncrementalPush(ctx context.Context) *Table {
 	t := &Table{ID: "abl-incremental", Title: "Incremental vs full-set push (5 endpoints + 2 rules changed)",
 		Headers: []string{"Model", "Pods", "Full-set bytes", "Incremental bytes", "Saving"}}
-	for _, pods := range []int{200, 1000, 3000} {
-		c := buildTestCluster(pods)
-		for _, model := range []controlplane.Model{controlplane.IstioModel, controlplane.AmbientModel, controlplane.CanalModel} {
+	podCounts := []int{200, 1000, 3000}
+	models := []controlplane.Model{controlplane.IstioModel, controlplane.AmbientModel, controlplane.CanalModel}
+	type pushPair struct{ full, inc int64 }
+	pts := make([][]pushPair, len(podCounts))
+	ForEachPoint(ctx, len(podCounts), func(i int) {
+		c := buildTestCluster(podCounts[i])
+		pts[i] = make([]pushPair, len(models))
+		for m, model := range models {
 			full := controlplane.New(model, controlplane.DefaultSizing(), c).PushUpdate()
 			inc := controlplane.New(model, controlplane.DefaultSizing(), c).PushIncremental(5, 2)
-			t.AddRow(model.String(), pods, full.Bytes, inc.Bytes,
-				fmt.Sprintf("%.1fx", float64(full.Bytes)/float64(inc.Bytes)))
+			pts[i][m] = pushPair{full: full.Bytes, inc: inc.Bytes}
+		}
+	})
+	for i, pods := range podCounts {
+		for m, model := range models {
+			if pts[i] == nil {
+				continue // cancelled mid-sweep; Runner discards the partial table
+			}
+			p := pts[i][m]
+			t.AddRow(model.String(), pods, p.full, p.inc,
+				fmt.Sprintf("%.1fx", float64(p.full)/float64(p.inc)))
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -82,14 +98,23 @@ func AblationIncrementalPush() *Table {
 // (§4.4 modification (i)) against Beamer's original length-2 chains under
 // consecutive scale-in events: drained replicas still hold live flows, and
 // once consecutive drains push a replica out of a length-2 chain, its flows
-// become unreachable and reset.
-func AblationBeamerChainLength() *Table {
+// become unreachable and reset. Each (chain limit, drains) cell builds its
+// own Beamer instance, so the nine cells run as a parallel sweep.
+func AblationBeamerChainLength(ctx context.Context) *Table {
 	t := &Table{ID: "abl-chain", Title: "Replica-chain length under consecutive scale-ins",
 		Headers: []string{"Chain limit", "Consecutive drains", "Live flows orphaned", "New flows OK"}}
-	for _, limit := range []int{2, 3, 4} {
-		for _, drains := range []int{1, 2, 3} {
-			resets, newOK := beamerDrainRun(limit, drains)
-			t.AddRow(limit, drains, resets, newOK)
+	limits := []int{2, 3, 4}
+	drainsOpts := []int{1, 2, 3}
+	type cell struct{ resets, newOK int }
+	cells := make([]cell, len(limits)*len(drainsOpts))
+	ForEachPoint(ctx, len(cells), func(k int) {
+		resets, newOK := beamerDrainRun(limits[k/len(drainsOpts)], drainsOpts[k%len(drainsOpts)])
+		cells[k] = cell{resets: resets, newOK: newOK}
+	})
+	for i, limit := range limits {
+		for j, drains := range drainsOpts {
+			c := cells[i*len(drainsOpts)+j]
+			t.AddRow(limit, drains, c.resets, c.newOK)
 		}
 	}
 	t.Notes = append(t.Notes,

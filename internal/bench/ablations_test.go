@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ func TestAblationsRun(t *testing.T) {
 	for _, e := range Ablations() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res := e.Run()
+			res := e.Run(context.Background())
 			if res == nil || res.String() == "" {
 				t.Fatal("empty ablation result")
 			}
@@ -19,7 +20,7 @@ func TestAblationsRun(t *testing.T) {
 }
 
 func TestAblationIncrementalSavingsGrow(t *testing.T) {
-	tb := AblationIncrementalPush()
+	tb := AblationIncrementalPush(context.Background())
 	// Istio's full/incremental ratio must grow with cluster size (the O(N²)
 	// vs O(N) gap).
 	var istioSavings []float64

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -267,14 +268,26 @@ func offloadRun(policy proxy.AsymPolicy, nodeCores int, rps float64) (throughput
 
 // Fig27OffloadThroughput reproduces Fig 27: HTTPS short-flow throughput with
 // key-server offloading vs local software crypto, across node-proxy cores.
-func Fig27OffloadThroughput() *Series {
+// The six (cores, policy) testbed runs are independent simulations executed
+// as a parallel sweep.
+func Fig27OffloadThroughput(ctx context.Context) *Series {
 	out := &Series{ID: "fig27", Title: "Throughput with crypto offloading (HTTPS short flows)",
 		XLabel: "node proxy cores", YLabel: "requests/s"}
 	costs := netmodel.Default()
+	coreCounts := []int{1, 2, 4}
+	// Even k: offload; odd k: software baseline for the same core count.
+	thr := make([]float64, 2*len(coreCounts))
+	ForEachPoint(ctx, len(thr), func(k int) {
+		cores := coreCounts[k/2]
+		policy := proxy.RemoteKeyServerAsym(costs)
+		if k%2 == 1 {
+			policy = testbedSoftAsym
+		}
+		thr[k], _ = offloadRun(policy, cores, 20_000)
+	})
 	var ratios []float64
-	for _, cores := range []int{1, 2, 4} {
-		withOff, _ := offloadRun(proxy.RemoteKeyServerAsym(costs), cores, 20_000)
-		without, _ := offloadRun(testbedSoftAsym, cores, 20_000)
+	for i, cores := range coreCounts {
+		withOff, without := thr[2*i], thr[2*i+1]
 		out.Add("offload", float64(cores), withOff)
 		out.Add("no-offload", float64(cores), without)
 		ratios = append(ratios, withOff/without)
@@ -285,15 +298,25 @@ func Fig27OffloadThroughput() *Series {
 }
 
 // Fig28OffloadLatency reproduces Fig 28: P90 latency reduction from
-// key-server offloading as the offered RPS grows.
-func Fig28OffloadLatency() *Series {
+// key-server offloading as the offered RPS grows. The eight (RPS, policy)
+// testbed runs execute as a parallel sweep.
+func Fig28OffloadLatency(ctx context.Context) *Series {
 	out := &Series{ID: "fig28", Title: "P90 latency with crypto offloading (HTTPS short flows)",
 		XLabel: "offered RPS", YLabel: "P90 latency (ms)"}
 	costs := netmodel.Default()
+	rpss := []float64{800, 1500, 2200, 2600}
+	// Even k: offload; odd k: software baseline for the same offered RPS.
+	p90 := make([]float64, 2*len(rpss))
+	ForEachPoint(ctx, len(p90), func(k int) {
+		policy := proxy.RemoteKeyServerAsym(costs)
+		if k%2 == 1 {
+			policy = testbedSoftAsym
+		}
+		_, p90[k] = offloadRun(policy, 1, rpss[k/2])
+	})
 	var cuts []float64
-	for _, rps := range []float64{800, 1500, 2200, 2600} {
-		_, with := offloadRun(proxy.RemoteKeyServerAsym(costs), 1, rps)
-		_, without := offloadRun(testbedSoftAsym, 1, rps)
+	for i, rps := range rpss {
+		with, without := p90[2*i], p90[2*i+1]
 		out.Add("offload", rps, with)
 		out.Add("no-offload", rps, without)
 		cuts = append(cuts, 1-with/without)

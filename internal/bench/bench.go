@@ -3,10 +3,12 @@
 // library's packages, runs it under the simulator, and returns a Table or
 // Series whose rows mirror what the paper reports. The root-level
 // bench_test.go wraps each experiment in a testing.B benchmark, and
-// cmd/canalbench prints them all as text.
+// cmd/canalbench executes them through the worker-pool Runner (runner.go)
+// and prints them all as text in paper order.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -148,48 +150,58 @@ type Result interface {
 	fmt.Stringer
 }
 
-// Experiment couples an ID with its runner.
+// Experiment couples an ID with its runner. Run never prints: it returns the
+// structured Result and leaves rendering/emission to the caller (the Runner
+// in runner.go), so experiments can execute concurrently and still be
+// reported in paper order. The ctx cancels or times out a run: sweep-style
+// experiments built on ForEachPoint stop scheduling new points once ctx is
+// done (their partial result is then discarded by the Runner).
 type Experiment struct {
 	ID   string
 	Name string
-	Run  func() Result
+	Run  func(ctx context.Context) Result
+}
+
+// bare adapts an experiment function that has no cancellation points.
+func bare(fn func() Result) func(context.Context) Result {
+	return func(context.Context) Result { return fn() }
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig2", "Sidecar CPU usage vs end-to-end latency", func() Result { return Fig02SidecarCPULatency() }},
-		{"fig3", "#Sidecars growth for a major customer", func() Result { return Fig03SidecarGrowth() }},
-		{"fig4", "Controller CPU usage and pod update time", func() Result { return Fig04ControllerCPU() }},
-		{"fig5", "CPU usage of Istio and Ambient", func() Result { return Fig05IstioAmbientCPU() }},
-		{"table1", "Resource usage of Istio in production", func() Result { return Tab01SidecarResources() }},
-		{"table2", "Configuration update frequency by cluster", func() Result { return Tab02UpdateFrequency() }},
-		{"table3", "Proportion of users enabling L7 features", func() Result { return Tab03L7Adoption() }},
-		{"fig10", "Latency under light workloads", func() Result { return Fig10LightLatency() }},
-		{"fig11", "Latency under changing workloads (throughput knees)", func() Result { return Fig11ThroughputKnee() }},
-		{"fig12", "CPU usage saving with crypto offloading", func() Result { return Fig12CryptoOffloadCPU() }},
-		{"fig13", "CPU usage of Istio, Ambient and Canal", func() Result { return Fig13CPUComparison() }},
-		{"fig14", "Configuration completion time", func() Result { return Fig14ConfigCompletion() }},
-		{"fig15", "Southbound bandwidth overhead", func() Result { return Fig15SouthboundBandwidth() }},
-		{"fig16", "Noisy neighbor isolation", func() Result { return Fig16NoisyNeighbor() }},
-		{"admission", "Flash crowd with admission control off vs on", func() Result { return AdmissionFlashCrowd() }},
-		{"fig17", "CDF of completion time of Reuse and New", func() Result { return Fig17ScalingCDF() }},
-		{"table4", "Reuse and New event timelines", func() Result { return Tab04ScalingTimeline() }},
-		{"fig18", "Occurrences of Reuse and New over a month", func() Result { return Fig18ScalingOccurrences() }},
-		{"fig19", "Backend combinations from shuffle sharding", func() Result { return Fig19ShuffleSharding() }},
-		{"fig20", "Daily operational data", func() Result { return Fig20DailyOps() }},
-		{"table5", "Cost reduction by redirector and tunneling", func() Result { return Tab05CostReduction() }},
-		{"table6", "Excessive health checks vs app traffic", func() Result { return Tab06HealthCheckExcess() }},
-		{"table7", "Health check reduction by aggregation", func() Result { return Tab07HealthCheckReduction() }},
-		{"fig21", "Traffic redirection with iptables (path costs)", func() Result { return Fig21IptablesPath() }},
-		{"fig22", "Context switch frequency of eBPF vs iptables", func() Result { return Fig22ContextSwitches() }},
-		{"fig23", "Crypto completion time remote/local/none", func() Result { return Fig23CryptoCompletion() }},
-		{"fig24", "End-to-end latency distribution in production", func() Result { return Fig24LatencyDistribution() }},
-		{"fig25", "AVX-512 performance vs concurrent connections", func() Result { return Fig25BatchDegradation() }},
-		{"fig26", "Session consistency maintenance with redirector", func() Result { return Fig26SessionConsistency() }},
-		{"fig27", "Throughput improvement with crypto offloading", func() Result { return Fig27OffloadThroughput() }},
-		{"fig28", "Latency improvement with crypto offloading", func() Result { return Fig28OffloadLatency() }},
-		{"fig29", "Throughput improvement with eBPF", func() Result { return Fig29EBPFThroughput() }},
-		{"fig30", "Latency improvement with eBPF", func() Result { return Fig30EBPFLatency() }},
+		{"fig2", "Sidecar CPU usage vs end-to-end latency", bare(func() Result { return Fig02SidecarCPULatency() })},
+		{"fig3", "#Sidecars growth for a major customer", bare(func() Result { return Fig03SidecarGrowth() })},
+		{"fig4", "Controller CPU usage and pod update time", bare(func() Result { return Fig04ControllerCPU() })},
+		{"fig5", "CPU usage of Istio and Ambient", bare(func() Result { return Fig05IstioAmbientCPU() })},
+		{"table1", "Resource usage of Istio in production", bare(func() Result { return Tab01SidecarResources() })},
+		{"table2", "Configuration update frequency by cluster", bare(func() Result { return Tab02UpdateFrequency() })},
+		{"table3", "Proportion of users enabling L7 features", bare(func() Result { return Tab03L7Adoption() })},
+		{"fig10", "Latency under light workloads", func(ctx context.Context) Result { return Fig10LightLatency(ctx) }},
+		{"fig11", "Latency under changing workloads (throughput knees)", func(ctx context.Context) Result { return Fig11ThroughputKnee(ctx) }},
+		{"fig12", "CPU usage saving with crypto offloading", func(ctx context.Context) Result { return Fig12CryptoOffloadCPU(ctx) }},
+		{"fig13", "CPU usage of Istio, Ambient and Canal", func(ctx context.Context) Result { return Fig13CPUComparison(ctx) }},
+		{"fig14", "Configuration completion time", bare(func() Result { return Fig14ConfigCompletion() })},
+		{"fig15", "Southbound bandwidth overhead", bare(func() Result { return Fig15SouthboundBandwidth() })},
+		{"fig16", "Noisy neighbor isolation", bare(func() Result { return Fig16NoisyNeighbor() })},
+		{"admission", "Flash crowd with admission control off vs on", bare(func() Result { return AdmissionFlashCrowd() })},
+		{"fig17", "CDF of completion time of Reuse and New", func(ctx context.Context) Result { return Fig17ScalingCDF(ctx) }},
+		{"table4", "Reuse and New event timelines", bare(func() Result { return Tab04ScalingTimeline() })},
+		{"fig18", "Occurrences of Reuse and New over a month", bare(func() Result { return Fig18ScalingOccurrences() })},
+		{"fig19", "Backend combinations from shuffle sharding", bare(func() Result { return Fig19ShuffleSharding() })},
+		{"fig20", "Daily operational data", bare(func() Result { return Fig20DailyOps() })},
+		{"table5", "Cost reduction by redirector and tunneling", bare(func() Result { return Tab05CostReduction() })},
+		{"table6", "Excessive health checks vs app traffic", bare(func() Result { return Tab06HealthCheckExcess() })},
+		{"table7", "Health check reduction by aggregation", bare(func() Result { return Tab07HealthCheckReduction() })},
+		{"fig21", "Traffic redirection with iptables (path costs)", bare(func() Result { return Fig21IptablesPath() })},
+		{"fig22", "Context switch frequency of eBPF vs iptables", bare(func() Result { return Fig22ContextSwitches() })},
+		{"fig23", "Crypto completion time remote/local/none", bare(func() Result { return Fig23CryptoCompletion() })},
+		{"fig24", "End-to-end latency distribution in production", bare(func() Result { return Fig24LatencyDistribution() })},
+		{"fig25", "AVX-512 performance vs concurrent connections", bare(func() Result { return Fig25BatchDegradation() })},
+		{"fig26", "Session consistency maintenance with redirector", bare(func() Result { return Fig26SessionConsistency() })},
+		{"fig27", "Throughput improvement with crypto offloading", func(ctx context.Context) Result { return Fig27OffloadThroughput(ctx) }},
+		{"fig28", "Latency improvement with crypto offloading", func(ctx context.Context) Result { return Fig28OffloadLatency(ctx) }},
+		{"fig29", "Throughput improvement with eBPF", bare(func() Result { return Fig29EBPFThroughput() })},
+		{"fig30", "Latency improvement with eBPF", bare(func() Result { return Fig30EBPFLatency() })},
 	}
 }

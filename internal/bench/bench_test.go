@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res := e.Run()
+			res := e.Run(context.Background())
 			if res == nil {
 				t.Fatal("nil result")
 			}
@@ -43,7 +44,7 @@ func TestFig3Doubles(t *testing.T) {
 }
 
 func TestFig10Ordering(t *testing.T) {
-	tb := Fig10LightLatency()
+	tb := Fig10LightLatency(context.Background())
 	lat := map[string]float64{}
 	for _, row := range tb.Rows {
 		v, err := strconv.ParseFloat(row[1], 64)
@@ -58,7 +59,7 @@ func TestFig10Ordering(t *testing.T) {
 }
 
 func TestFig11Knees(t *testing.T) {
-	s := Fig11ThroughputKnee()
+	s := Fig11ThroughputKnee(context.Background())
 	if len(s.Notes) == 0 || !strings.Contains(s.Notes[0], "knees") {
 		t.Fatal("missing knee note")
 	}
@@ -71,7 +72,7 @@ func TestFig11Knees(t *testing.T) {
 }
 
 func TestFig12OffloadSavesCPU(t *testing.T) {
-	s := Fig12CryptoOffloadCPU()
+	s := Fig12CryptoOffloadCPU(context.Background())
 	no, loc, rem := s.Get("no-offload"), s.Get("local-offload"), s.Get("remote-offload")
 	last := len(no.Y) - 1
 	if !(rem.Y[last] < no.Y[last] && loc.Y[last] < no.Y[last]) {
@@ -87,7 +88,7 @@ func TestFig12OffloadSavesCPU(t *testing.T) {
 }
 
 func TestFig13UserCPUOrdering(t *testing.T) {
-	s := Fig13CPUComparison()
+	s := Fig13CPUComparison(context.Background())
 	i, a, c := s.Get("istio (user)"), s.Get("ambient (user)"), s.Get("canal (user)")
 	last := len(c.Y) - 1
 	if !(c.Y[last] < a.Y[last] && a.Y[last] < i.Y[last]) {
@@ -162,7 +163,7 @@ func TestFig16RecoversAndIsolates(t *testing.T) {
 }
 
 func TestFig17P50Separation(t *testing.T) {
-	s := Fig17ScalingCDF()
+	s := Fig17ScalingCDF(context.Background())
 	reuse, newer := s.Get("reuse"), s.Get("new")
 	// The third point of each line is the P50.
 	p50r, p50n := reuse.X[2], newer.X[2]
@@ -285,7 +286,7 @@ func TestFig25Crossover(t *testing.T) {
 }
 
 func TestFig27ThroughputImproves(t *testing.T) {
-	s := Fig27OffloadThroughput()
+	s := Fig27OffloadThroughput(context.Background())
 	off, no := s.Get("offload"), s.Get("no-offload")
 	for k := range off.Y {
 		if off.Y[k] <= no.Y[k] {
@@ -295,7 +296,7 @@ func TestFig27ThroughputImproves(t *testing.T) {
 }
 
 func TestFig28LatencyImproves(t *testing.T) {
-	s := Fig28OffloadLatency()
+	s := Fig28OffloadLatency(context.Background())
 	off, no := s.Get("offload"), s.Get("no-offload")
 	for k := range off.Y {
 		if off.Y[k] >= no.Y[k] {

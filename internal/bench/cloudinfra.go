@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -117,19 +118,33 @@ func Fig16NoisyNeighbor() *Series {
 }
 
 // Fig17ScalingCDF reports the CDF of alert-to-recovery completion times for
-// the Reuse and New strategies (Fig 17): P50 ≈ 55 s vs ≈ 17 min.
-func Fig17ScalingCDF() *Series {
-	rng := rand.New(rand.NewSource(17))
-	var reuse, newer []float64
-	for i := 0; i < 400; i++ {
-		// Completion = execute + settle (Table 4 timeline structure).
-		reuse = append(reuse, (scaling.SampleReuseExec(rng) + scaling.SampleSettle(rng)).Seconds())
-		newer = append(newer, (scaling.SampleNewExec(rng) + scaling.SampleSettle(rng)).Seconds())
+// the Reuse and New strategies (Fig 17): P50 ≈ 55 s vs ≈ 17 min. The two
+// strategies sample from their own independently seeded RNG streams, so they
+// are a two-point parallel sweep.
+func Fig17ScalingCDF(ctx context.Context) *Series {
+	sample := func(seed int64, exec func(*rand.Rand) time.Duration) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]float64, 0, 400)
+		for i := 0; i < 400; i++ {
+			// Completion = execute + settle (Table 4 timeline structure).
+			out = append(out, (exec(rng) + scaling.SampleSettle(rng)).Seconds())
+		}
+		sort.Float64s(out)
+		return out
 	}
-	sort.Float64s(reuse)
-	sort.Float64s(newer)
+	var reuse, newer []float64
+	ForEachPoint(ctx, 2, func(i int) {
+		if i == 0 {
+			reuse = sample(17, scaling.SampleReuseExec)
+		} else {
+			newer = sample(170, scaling.SampleNewExec)
+		}
+	})
 	out := &Series{ID: "fig17", Title: "CDF of completion time of Reuse and New",
 		XLabel: "seconds", YLabel: "CDF"}
+	if len(reuse) == 0 || len(newer) == 0 {
+		return out // cancelled mid-sweep; the Runner discards partial results
+	}
 	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.99} {
 		out.Add("reuse", reuse[int(q*float64(len(reuse)))], q)
 		out.Add("new", newer[int(q*float64(len(newer)))], q)

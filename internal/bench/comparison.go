@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,14 +15,17 @@ import (
 
 // Fig10LightLatency measures end-to-end latency under light load (1
 // connection, 1 RPS, 100 requests) for the four architectures (Fig 10).
-func Fig10LightLatency() *Table {
+// Each architecture runs its own seeded simulator, so the four runs execute
+// concurrently and assemble into the same rows a serial loop would produce.
+func Fig10LightLatency(ctx context.Context) *Table {
 	t := &Table{ID: "fig10", Title: "Latency under light workloads",
 		Headers: []string{"Architecture", "Mean latency (ms)", "vs no-mesh"}}
-	lat := map[string]float64{}
-	for _, arch := range proxy.Architectures() {
+	archs := proxy.Architectures()
+	means := make([]float64, len(archs))
+	ForEachPoint(ctx, len(archs), func(k int) {
 		s := sim.New(10)
 		cfg := newComparisonCfg(s)
-		mesh, err := proxy.DefaultTestbedSpec(cfg).Build(arch)
+		mesh, err := proxy.DefaultTestbedSpec(cfg).Build(archs[k])
 		if err != nil {
 			panic(err)
 		}
@@ -33,9 +37,13 @@ func Fig10LightLatency() *Table {
 			})
 		}
 		s.Run()
-		lat[arch] = sample.Mean() * 1000
+		means[k] = sample.Mean() * 1000
+	})
+	lat := map[string]float64{}
+	for k, arch := range archs {
+		lat[arch] = means[k]
 	}
-	for _, arch := range proxy.Architectures() {
+	for _, arch := range archs {
 		t.AddRow(arch, fmt.Sprintf("%.3f", lat[arch]), fmt.Sprintf("%.2fx", lat[arch]/lat["none"]))
 	}
 	t.Notes = append(t.Notes,
@@ -46,31 +54,40 @@ func Fig10LightLatency() *Table {
 
 // Fig11ThroughputKnee sweeps offered RPS per architecture with 100
 // closed-loop-style connections and reports P99 latency; the knee (latency
-// blow-up point) is each architecture's throughput (Fig 11).
-func Fig11ThroughputKnee() *Series {
+// blow-up point) is each architecture's throughput (Fig 11). The 27
+// (architecture, RPS) points are independent seeded simulations run through
+// ForEachPoint; assembly stays in serial sweep order.
+func Fig11ThroughputKnee(ctx context.Context) *Series {
 	out := &Series{ID: "fig11", Title: "P99 latency under changing workloads",
 		XLabel: "offered RPS", YLabel: "P99 latency (ms)"}
-	knee := map[string]float64{}
-	for _, arch := range []string{"canal", "ambient", "istio"} {
-		for _, rps := range []float64{250, 500, 1000, 1500, 2000, 3000, 4500, 6000, 8000} {
-			s := sim.New(11)
-			cfg := newComparisonCfg(s)
-			spec := proxy.DefaultTestbedSpec(cfg)
-			spec.AppCores = 64
-			mesh, err := spec.Build(arch)
-			if err != nil {
-				panic(err)
-			}
-			var lat telemetry.Sample
-			completed := 0
-			workload.OpenLoop(s, workload.Constant(rps), 5*time.Millisecond, 2*time.Second, func() {
-				mesh.Send(webRequest(), func(l time.Duration, _ int) {
-					lat.ObserveDuration(l)
-					completed++
-				})
+	archs := []string{"canal", "ambient", "istio"}
+	rpss := []float64{250, 500, 1000, 1500, 2000, 3000, 4500, 6000, 8000}
+	p99s := make([]float64, len(archs)*len(rpss))
+	ForEachPoint(ctx, len(p99s), func(k int) {
+		arch, rps := archs[k/len(rpss)], rpss[k%len(rpss)]
+		s := sim.New(11)
+		cfg := newComparisonCfg(s)
+		spec := proxy.DefaultTestbedSpec(cfg)
+		spec.AppCores = 64
+		mesh, err := spec.Build(arch)
+		if err != nil {
+			panic(err)
+		}
+		var lat telemetry.Sample
+		completed := 0
+		workload.OpenLoop(s, workload.Constant(rps), 5*time.Millisecond, 2*time.Second, func() {
+			mesh.Send(webRequest(), func(l time.Duration, _ int) {
+				lat.ObserveDuration(l)
+				completed++
 			})
-			s.RunUntil(2 * time.Second)
-			p99 := lat.Percentile(99) * 1000
+		})
+		s.RunUntil(2 * time.Second)
+		p99s[k] = lat.Percentile(99) * 1000
+	})
+	knee := map[string]float64{}
+	for i, arch := range archs {
+		for j, rps := range rpss {
+			p99 := p99s[i*len(rpss)+j]
 			out.Add(arch, rps, p99)
 			// The knee: highest offered rate where P99 stays under 20 ms.
 			if p99 < 20 && rps > knee[arch] {
@@ -86,8 +103,9 @@ func Fig11ThroughputKnee() *Series {
 
 // Fig12CryptoOffloadCPU measures on-node proxy CPU utilization for an HTTPS
 // new-session workload with no offload, local accelerated offload, and
-// remote key-server offload (Fig 12).
-func Fig12CryptoOffloadCPU() *Series {
+// remote key-server offload (Fig 12). The 12 (policy, RPS) points run as a
+// parallel sweep over independent seeded simulations.
+func Fig12CryptoOffloadCPU(ctx context.Context) *Series {
 	out := &Series{ID: "fig12", Title: "On-node proxy CPU with crypto offloading",
 		XLabel: "new HTTPS sessions/s", YLabel: "proxy CPU utilization (%)"}
 	costs := netmodel.Default()
@@ -96,34 +114,40 @@ func Fig12CryptoOffloadCPU() *Series {
 		"local-offload":  proxy.LocalAcceleratedAsym(costs, 16),
 		"remote-offload": proxy.RemoteKeyServerAsym(costs),
 	}
-	for _, name := range []string{"no-offload", "local-offload", "remote-offload"} {
-		for _, rps := range []float64{50, 100, 200, 400} {
-			s := sim.New(12)
-			cfg := newComparisonCfg(s)
-			cfg.Asym = policies[name]
-			mesh, err := proxy.DefaultTestbedSpec(cfg).Build("canal")
-			if err != nil {
-				panic(err)
-			}
-			// Established-session background traffic (symmetric crypto
-			// only) rides alongside the swept handshake rate, so the
-			// asymmetric share of proxy CPU matches a production mix.
-			workload.OpenLoop(s, workload.Constant(2000), 5*time.Millisecond, 5*time.Second, func() {
-				r := webRequest()
-				r.TLS = true
-				r.BodyBytes = 16 * 1024
-				mesh.Send(r, func(time.Duration, int) {})
-			})
-			workload.OpenLoop(s, workload.Constant(rps), 5*time.Millisecond, 5*time.Second, func() {
-				r := webRequest()
-				r.TLS = true
-				r.NewConnection = true
-				mesh.Send(r, func(time.Duration, int) {})
-			})
-			s.RunUntil(5 * time.Second)
-			canal := mesh.(*proxy.Canal)
-			util := canal.ClientNode.Proc.UtilizationRange(0, 5*time.Second)
-			out.Add(name, rps, util*100)
+	names := []string{"no-offload", "local-offload", "remote-offload"}
+	rpss := []float64{50, 100, 200, 400}
+	utils := make([]float64, len(names)*len(rpss))
+	ForEachPoint(ctx, len(utils), func(k int) {
+		name, rps := names[k/len(rpss)], rpss[k%len(rpss)]
+		s := sim.New(12)
+		cfg := newComparisonCfg(s)
+		cfg.Asym = policies[name]
+		mesh, err := proxy.DefaultTestbedSpec(cfg).Build("canal")
+		if err != nil {
+			panic(err)
+		}
+		// Established-session background traffic (symmetric crypto
+		// only) rides alongside the swept handshake rate, so the
+		// asymmetric share of proxy CPU matches a production mix.
+		workload.OpenLoop(s, workload.Constant(2000), 5*time.Millisecond, 5*time.Second, func() {
+			r := webRequest()
+			r.TLS = true
+			r.BodyBytes = 16 * 1024
+			mesh.Send(r, func(time.Duration, int) {})
+		})
+		workload.OpenLoop(s, workload.Constant(rps), 5*time.Millisecond, 5*time.Second, func() {
+			r := webRequest()
+			r.TLS = true
+			r.NewConnection = true
+			mesh.Send(r, func(time.Duration, int) {})
+		})
+		s.RunUntil(5 * time.Second)
+		canal := mesh.(*proxy.Canal)
+		utils[k] = canal.ClientNode.Proc.UtilizationRange(0, 5*time.Second)
+	})
+	for i, name := range names {
+		for j, rps := range rpss {
+			out.Add(name, rps, utils[i*len(rpss)+j]*100)
 		}
 	}
 	no := out.Get("no-offload").Y
@@ -138,33 +162,40 @@ func Fig12CryptoOffloadCPU() *Series {
 
 // Fig13CPUComparison reports user-side CPU core usage under a shared
 // workload sweep for the three meshes plus Canal's cloud-side gateway share
-// (Fig 13).
-func Fig13CPUComparison() *Series {
+// (Fig 13). The 12 (architecture, RPS) points run as a parallel sweep.
+func Fig13CPUComparison(ctx context.Context) *Series {
 	out := &Series{ID: "fig13", Title: "CPU core usage of Istio, Ambient and Canal",
 		XLabel: "offered RPS", YLabel: "CPU cores used"}
 	dur := 5 * time.Second
-	for _, arch := range []string{"istio", "ambient", "canal"} {
-		for _, rps := range []float64{200, 400, 800, 1200} {
-			s := sim.New(13)
-			cfg := newComparisonCfg(s)
-			mesh, err := proxy.DefaultTestbedSpec(cfg).Build(arch)
-			if err != nil {
-				panic(err)
-			}
-			workload.OpenLoop(s, workload.Constant(rps), 5*time.Millisecond, dur, func() {
-				mesh.Send(webRequest(), func(time.Duration, int) {})
-			})
-			s.RunUntil(dur)
-			var userCores, cloudCores float64
-			for _, p := range mesh.UserProcs() {
-				userCores += p.UtilizationRange(0, dur) * float64(p.Cores())
-			}
-			for _, p := range mesh.CloudProcs() {
-				cloudCores += p.UtilizationRange(0, dur) * float64(p.Cores())
-			}
-			out.Add(arch+" (user)", rps, userCores)
+	archs := []string{"istio", "ambient", "canal"}
+	rpss := []float64{200, 400, 800, 1200}
+	type cores struct{ user, cloud float64 }
+	pts := make([]cores, len(archs)*len(rpss))
+	ForEachPoint(ctx, len(pts), func(k int) {
+		arch, rps := archs[k/len(rpss)], rpss[k%len(rpss)]
+		s := sim.New(13)
+		cfg := newComparisonCfg(s)
+		mesh, err := proxy.DefaultTestbedSpec(cfg).Build(arch)
+		if err != nil {
+			panic(err)
+		}
+		workload.OpenLoop(s, workload.Constant(rps), 5*time.Millisecond, dur, func() {
+			mesh.Send(webRequest(), func(time.Duration, int) {})
+		})
+		s.RunUntil(dur)
+		for _, p := range mesh.UserProcs() {
+			pts[k].user += p.UtilizationRange(0, dur) * float64(p.Cores())
+		}
+		for _, p := range mesh.CloudProcs() {
+			pts[k].cloud += p.UtilizationRange(0, dur) * float64(p.Cores())
+		}
+	})
+	for i, arch := range archs {
+		for j, rps := range rpss {
+			pt := pts[i*len(rpss)+j]
+			out.Add(arch+" (user)", rps, pt.user)
 			if arch == "canal" {
-				out.Add("canal (total)", rps, userCores+cloudCores)
+				out.Add("canal (total)", rps, pt.user+pt.cloud)
 			}
 		}
 	}

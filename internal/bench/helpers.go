@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
+	"runtime"
+	"sync"
 
 	"canalmesh/internal/cloud"
 	"canalmesh/internal/gateway"
@@ -10,6 +13,43 @@ import (
 	"canalmesh/internal/netmodel"
 	"canalmesh/internal/sim"
 )
+
+// ForEachPoint runs fn(i) for every i in [0, n) on a bounded worker pool
+// (min(GOMAXPROCS, n) workers) and waits for all scheduled points to finish.
+// It is the intra-experiment parallel-sweep helper: each point must be
+// independent — build its own seeded Sim/Scenario — and deposit its output
+// into an index-keyed slot, so that assembling the Result afterwards in index
+// order renders byte-identically to a serial loop. Once ctx is cancelled,
+// not-yet-started points are skipped (fn never observes a cancelled start);
+// the caller's partial result is discarded by the Runner in that case.
+func ForEachPoint(ctx context.Context, n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain remaining points without running them
+				}
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
 
 // newTenant returns a fresh benchmark tenant with a /8 VPC.
 func newTenant() (*cloud.Tenant, error) {

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gated returns an experiment that signals on started, then blocks until
+// release is closed before returning a one-row table. Gates let the tests
+// force completion orders without touching the wall clock.
+func gated(id string, started chan<- string, release <-chan struct{}) Experiment {
+	return Experiment{ID: id, Name: "gated " + id, Run: func(ctx context.Context) Result {
+		started <- id
+		<-release
+		t := &Table{ID: id, Title: id, Headers: []string{"v"}}
+		t.AddRow(id)
+		return t
+	}}
+}
+
+func TestRunnerEmitsInPaperOrder(t *testing.T) {
+	// Four experiments complete in reverse order; Emit must still observe
+	// them in input (paper) order.
+	ids := []string{"e0", "e1", "e2", "e3"}
+	started := make(chan string, len(ids))
+	releases := make([]chan struct{}, len(ids))
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		releases[i] = make(chan struct{})
+		exps[i] = gated(id, started, releases[i])
+	}
+	var emitted []string
+	r := NewRunner(Options{Parallel: len(ids), Emit: func(res ExperimentResult) {
+		emitted = append(emitted, res.ID)
+	}})
+	go func() {
+		for range ids {
+			<-started // all four are in flight
+		}
+		for i := len(releases) - 1; i >= 0; i-- {
+			close(releases[i]) // finish e3 first, e0 last
+		}
+	}()
+	report := r.Run(context.Background(), exps)
+	if got := strings.Join(emitted, ","); got != "e0,e1,e2,e3" {
+		t.Errorf("emit order = %s, want paper order", got)
+	}
+	if len(report.Results) != len(ids) {
+		t.Fatalf("got %d results, want %d", len(report.Results), len(ids))
+	}
+	for i, res := range report.Results {
+		if res.ID != ids[i] {
+			t.Errorf("result %d = %s, want %s (input order)", i, res.ID, ids[i])
+		}
+		if res.Err != nil {
+			t.Errorf("%s: unexpected error %v", res.ID, res.Err)
+		}
+		if !strings.Contains(res.Rendered, res.ID) {
+			t.Errorf("%s: rendering not captured off-thread: %q", res.ID, res.Rendered)
+		}
+	}
+}
+
+func trivial(id string) Experiment {
+	return Experiment{ID: id, Name: id, Run: func(ctx context.Context) Result {
+		tb := &Table{ID: id, Title: id, Headers: []string{"v"}}
+		tb.AddRow(1)
+		return tb
+	}}
+}
+
+func TestRunnerWorkerCounts(t *testing.T) {
+	exps := []Experiment{trivial("a"), trivial("b"), trivial("c")}
+	// Explicit parallelism is clamped to the experiment count.
+	if got := NewRunner(Options{Parallel: 7}).Run(context.Background(), exps).Parallel; got != 3 {
+		t.Errorf("Parallel=7 over 3 experiments: effective %d, want 3", got)
+	}
+	if got := NewRunner(Options{Parallel: 2}).Run(context.Background(), exps).Parallel; got != 2 {
+		t.Errorf("Parallel=2: effective %d, want 2", got)
+	}
+	// Default (<=0) never exceeds the experiment count either.
+	if got := NewRunner(Options{}).Run(context.Background(), exps[:1]).Parallel; got != 1 {
+		t.Errorf("default parallelism over 1 experiment: effective %d, want 1", got)
+	}
+}
+
+func TestRunnerTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release) // unblock the abandoned goroutine at test end
+	started := make(chan string, 1)
+	exps := []Experiment{gated("stuck", started, release)}
+	report := NewRunner(Options{Timeout: 5 * time.Millisecond}).Run(context.Background(), exps)
+	res := report.Results[0]
+	if res.Err == nil {
+		t.Fatal("timed-out experiment should carry an error")
+	}
+	if res.Err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want DeadlineExceeded", res.Err)
+	}
+	if failed := report.Failed(); len(failed) != 1 || failed[0].ID != "stuck" {
+		t.Errorf("Failed() = %v, want the stuck experiment", failed)
+	}
+}
+
+func TestRunnerCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	report := NewRunner(Options{}).Run(ctx, []Experiment{trivial("a"), trivial("b")})
+	for _, res := range report.Results {
+		if res.Err == nil {
+			t.Errorf("%s: cancelled run should record an error", res.ID)
+		}
+	}
+}
+
+func TestRunnerNilResult(t *testing.T) {
+	exps := []Experiment{{ID: "nil", Name: "nil", Run: func(ctx context.Context) Result { return nil }}}
+	res := NewRunner(Options{}).Run(context.Background(), exps).Results[0]
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "no result") {
+		t.Errorf("nil result should be an error, got %v", res.Err)
+	}
+}
+
+func TestTimingJSONShape(t *testing.T) {
+	exps := []Experiment{trivial("a"), trivial("b")}
+	report := NewRunner(Options{Parallel: 2}).Run(context.Background(), exps)
+	data, err := report.TimingJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Parallel    int     `json:"parallel"`
+		GOMAXPROCS  int     `json:"gomaxprocs"`
+		WallMS      float64 `json:"wall_ms"`
+		SerialSumMS float64 `json:"serial_sum_ms"`
+		Speedup     float64 `json:"speedup_vs_serial"`
+		Experiments []struct {
+			ID     string  `json:"id"`
+			WallMS float64 `json:"wall_ms"`
+			Error  string  `json:"error,omitempty"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if out.Parallel != 2 || out.GOMAXPROCS < 1 || len(out.Experiments) != 2 {
+		t.Errorf("report shape wrong: %+v", out)
+	}
+	if out.Experiments[0].ID != "a" || out.Experiments[1].ID != "b" {
+		t.Errorf("experiments out of order: %+v", out.Experiments)
+	}
+	if out.Speedup <= 0 {
+		t.Errorf("speedup = %v, want > 0", out.Speedup)
+	}
+}
+
+func TestForEachPointCoversAllIndices(t *testing.T) {
+	hit := make([]int, 50)
+	ForEachPoint(context.Background(), len(hit), func(i int) {
+		hit[i]++ // index-keyed slot: no two points share i
+	})
+	for i, n := range hit {
+		if n != 1 {
+			t.Errorf("point %d ran %d times, want exactly once", i, n)
+		}
+	}
+}
+
+func TestForEachPointSkipsAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	ForEachPoint(ctx, 10, func(i int) { ran = true })
+	if ran {
+		t.Error("points should not start once ctx is cancelled")
+	}
+}
+
+// TestParallelMatchesSerial runs the full experiment set (ablations
+// included) serially and at Parallel=4 and requires byte-identical rendered
+// output per experiment — the determinism contract behind canalbench's
+// -parallel flag.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment set twice")
+	}
+	exps := append(All(), Ablations()...)
+	serial := NewRunner(Options{Parallel: 1}).Run(context.Background(), exps)
+	par := NewRunner(Options{Parallel: 4}).Run(context.Background(), exps)
+	if len(serial.Results) != len(par.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial.Results), len(par.Results))
+	}
+	for i := range serial.Results {
+		s, p := serial.Results[i], par.Results[i]
+		if s.Err != nil || p.Err != nil {
+			t.Errorf("%s: errors serial=%v parallel=%v", s.ID, s.Err, p.Err)
+			continue
+		}
+		if s.Rendered != p.Rendered {
+			t.Errorf("%s renders differently under -parallel:\nserial:\n%s\nparallel:\n%s", s.ID, s.Rendered, p.Rendered)
+		}
+	}
+}

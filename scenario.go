@@ -30,6 +30,7 @@ type Scenario struct {
 	planner *scaling.Planner
 	monitor *anomaly.Monitor
 	end     time.Duration
+	firstAZ string
 }
 
 // ScenarioConfig sizes a scenario.
@@ -79,7 +80,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 			return nil, err
 		}
 	}
-	sc := &Scenario{sim: s, region: region, gw: g}
+	sc := &Scenario{sim: s, region: region, gw: g, firstAZ: cfg.AZs[0]}
 	sc.planner = scaling.NewPlanner(s, g, region, scaling.DefaultOptions())
 	sc.monitor = anomaly.NewMonitor(s, g, sc.planner, anomaly.DefaultThresholds())
 	return sc, nil
@@ -110,23 +111,50 @@ func (sc *Scenario) EnableAdmission(opt AdmissionOptions) {
 	})
 }
 
+// ScenarioStats is a point-in-time snapshot of a scenario's availability and
+// elasticity machinery, taken with Scenario.Stats. It replaces the former
+// one-accessor-per-metric surface (AdmissionSheds, AdmissionFairness,
+// ScalingOps, Interventions) with a single coherent read.
+type ScenarioStats struct {
+	// AdmissionSheds is the total number of requests the admission layer
+	// rejected (0 when admission is disabled).
+	AdmissionSheds float64
+	// AdmissionFairness is the Jain fairness index over per-tenant admitted
+	// request counts, in (0, 1]; 1 when admission is disabled or idle.
+	AdmissionFairness float64
+	// ScalingOps is the number of precise-scaling operations performed.
+	ScalingOps int
+	// Interventions holds human-readable records of the anomaly monitor's
+	// actions, in the order they fired.
+	Interventions []string
+}
+
+// Stats snapshots the scenario's admission, scaling and anomaly-intervention
+// counters. Call it after RunFor; the snapshot does not update afterwards.
+func (sc *Scenario) Stats() ScenarioStats {
+	st := ScenarioStats{AdmissionFairness: 1}
+	if m := sc.gw.AdmissionMetrics(); m != nil {
+		st.AdmissionSheds = m.ShedTotal()
+		st.AdmissionFairness = m.FairnessIndex()
+	}
+	st.ScalingOps = len(sc.planner.Events())
+	for _, a := range sc.monitor.Actions() {
+		st.Interventions = append(st.Interventions, fmt.Sprintf("%v %s on service %d (%s)", a.At, a.Action, a.Service, a.Reason))
+	}
+	return st
+}
+
 // AdmissionSheds returns the total number of requests the admission layer
 // rejected (0 when admission is disabled).
-func (sc *Scenario) AdmissionSheds() float64 {
-	if m := sc.gw.AdmissionMetrics(); m != nil {
-		return m.ShedTotal()
-	}
-	return 0
-}
+//
+// Deprecated: use Stats().AdmissionSheds.
+func (sc *Scenario) AdmissionSheds() float64 { return sc.Stats().AdmissionSheds }
 
 // AdmissionFairness returns the Jain fairness index over per-tenant admitted
 // request counts, in (0, 1]; 1 when admission is disabled or idle.
-func (sc *Scenario) AdmissionFairness() float64 {
-	if m := sc.gw.AdmissionMetrics(); m != nil {
-		return m.FairnessIndex()
-	}
-	return 1
-}
+//
+// Deprecated: use Stats().AdmissionFairness.
+func (sc *Scenario) AdmissionFairness() float64 { return sc.Stats().AdmissionFairness }
 
 // Service is a handle to one registered tenant service in a scenario.
 type Service struct {
@@ -170,23 +198,69 @@ type TrafficStats struct {
 	service *gateway.ServiceState
 }
 
-// Drive offers constantRPS request/s to the service from the named AZ for
-// dur. It returns live counters by HTTP status.
-func (svc *Service) Drive(fromAZ string, constantRPS float64, dur time.Duration) *TrafficStats {
-	return svc.DriveRate(fromAZ, workload.Constant(constantRPS), dur)
+// TrafficPattern describes an offered-load shape for Service.Drive: an RPS
+// curve, a source AZ, and a duration. Build one with Constant, Spike or
+// RateFunc, then refine it with the chained From and For setters:
+//
+//	svc.Drive(canal.Constant(100).For(20 * time.Second))
+//	svc.Drive(canal.Spike(50, 4000, 10*time.Second, 30*time.Second).From("az2").For(time.Minute))
+//
+// The zero source AZ means the scenario's first configured AZ. The setters
+// are value receivers, so patterns are freely reusable and shareable.
+type TrafficPattern struct {
+	fromAZ string
+	dur    time.Duration
+	rate   func(time.Duration) float64
 }
 
-// DriveSpike offers base RPS with a surge to peak during [start, start+spike).
-func (svc *Service) DriveSpike(fromAZ string, base, peak float64, start, spike, dur time.Duration) *TrafficStats {
-	return svc.DriveRate(fromAZ, workload.Spike(base, peak, start, spike), dur)
+// Constant is a flat rps request/s pattern.
+func Constant(rps float64) TrafficPattern {
+	return TrafficPattern{rate: workload.Constant(rps)}
 }
 
-// DriveRate drives an arbitrary RPS curve.
-func (svc *Service) DriveRate(fromAZ string, rate func(time.Duration) float64, dur time.Duration) *TrafficStats {
+// Spike offers base RPS with a surge to peak during [start, start+spike),
+// measured from the moment Drive is called.
+func Spike(base, peak float64, start, spike time.Duration) TrafficPattern {
+	return TrafficPattern{rate: workload.Spike(base, peak, start, spike)}
+}
+
+// RateFunc wraps an arbitrary RPS curve (virtual time since Drive → RPS).
+func RateFunc(rate func(time.Duration) float64) TrafficPattern {
+	return TrafficPattern{rate: rate}
+}
+
+// From sets the source AZ the traffic enters through.
+func (p TrafficPattern) From(az string) TrafficPattern {
+	p.fromAZ = az
+	return p
+}
+
+// For sets how long the pattern drives load.
+func (p TrafficPattern) For(dur time.Duration) TrafficPattern {
+	p.dur = dur
+	return p
+}
+
+// Drive offers the pattern's load to the service and returns live counters
+// by HTTP status (they fill in as the scenario runs). The pattern must carry
+// a rate (build it with Constant, Spike or RateFunc) and a positive duration
+// (set one with For); Drive panics otherwise, since a silent no-op drive
+// would invalidate the experiment.
+func (svc *Service) Drive(p TrafficPattern) *TrafficStats {
+	if p.rate == nil {
+		panic("canal: Drive needs a rate; build the TrafficPattern with Constant, Spike or RateFunc")
+	}
+	if p.dur <= 0 {
+		panic("canal: Drive needs a positive duration; set one with TrafficPattern.For")
+	}
+	fromAZ := p.fromAZ
+	if fromAZ == "" {
+		fromAZ = svc.sc.firstAZ
+	}
 	stats := &TrafficStats{ByStatus: map[int]*int{}, service: svc.st}
 	i := int(svc.st.ID) << 18
-	end := svc.sc.sim.Now() + dur
-	workload.OpenLoop(svc.sc.sim, rate, 10*time.Millisecond, end, func() {
+	end := svc.sc.sim.Now() + p.dur
+	workload.OpenLoop(svc.sc.sim, p.rate, 10*time.Millisecond, end, func() {
 		i++
 		flow := cloud.SessionKey{
 			SrcIP: "10.0.0.2", SrcPort: uint16(i%60000 + 1),
@@ -203,6 +277,29 @@ func (svc *Service) DriveRate(fromAZ string, rate func(time.Duration) float64, d
 			})
 	})
 	return stats
+}
+
+// DriveConstant offers constantRPS request/s to the service from the named
+// AZ for dur.
+//
+// Deprecated: use Drive(Constant(constantRPS).From(fromAZ).For(dur)). This
+// wrapper carries the pre-TrafficPattern Drive signature.
+func (svc *Service) DriveConstant(fromAZ string, constantRPS float64, dur time.Duration) *TrafficStats {
+	return svc.Drive(Constant(constantRPS).From(fromAZ).For(dur))
+}
+
+// DriveSpike offers base RPS with a surge to peak during [start, start+spike).
+//
+// Deprecated: use Drive(Spike(base, peak, start, spike).From(fromAZ).For(dur)).
+func (svc *Service) DriveSpike(fromAZ string, base, peak float64, start, spike, dur time.Duration) *TrafficStats {
+	return svc.Drive(Spike(base, peak, start, spike).From(fromAZ).For(dur))
+}
+
+// DriveRate drives an arbitrary RPS curve.
+//
+// Deprecated: use Drive(RateFunc(rate).From(fromAZ).For(dur)).
+func (svc *Service) DriveRate(fromAZ string, rate func(time.Duration) float64, dur time.Duration) *TrafficStats {
+	return svc.Drive(RateFunc(rate).From(fromAZ).For(dur))
 }
 
 // Count returns the tally for a status code.
@@ -260,13 +357,11 @@ func (sc *Scenario) RecoverAZ(az string, at time.Duration) error {
 }
 
 // ScalingOps returns the number of precise-scaling operations performed.
-func (sc *Scenario) ScalingOps() int { return len(sc.planner.Events()) }
+//
+// Deprecated: use Stats().ScalingOps.
+func (sc *Scenario) ScalingOps() int { return sc.Stats().ScalingOps }
 
 // Interventions returns human-readable records of the monitor's actions.
-func (sc *Scenario) Interventions() []string {
-	var out []string
-	for _, a := range sc.monitor.Actions() {
-		out = append(out, fmt.Sprintf("%v %s on service %d (%s)", a.At, a.Action, a.Service, a.Reason))
-	}
-	return out
-}
+//
+// Deprecated: use Stats().Interventions.
+func (sc *Scenario) Interventions() []string { return sc.Stats().Interventions }

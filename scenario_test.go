@@ -21,7 +21,7 @@ func TestScenarioBasicTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := svc.Drive("az1", 200, 10*time.Second)
+	stats := svc.Drive(Constant(200).For(10 * time.Second)) // no From: defaults to the first configured AZ
 	sc.RunFor(12 * time.Second)
 	if got := stats.Count(200); got < 1900 || got > 2100 {
 		t.Errorf("successes = %d, want ~2000", got)
@@ -44,8 +44,8 @@ func TestScenarioOverlappingTenants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sa := a.Drive("az1", 100, 5*time.Second)
-	sb := b.Drive("az1", 100, 5*time.Second)
+	sa := a.Drive(Constant(100).From("az1").For(5 * time.Second))
+	sb := b.Drive(Constant(100).From("az1").For(5 * time.Second))
 	sc.RunFor(6 * time.Second)
 	if sa.Count(200) == 0 || sb.Count(200) == 0 {
 		t.Error("both tenants should be served despite identical addresses")
@@ -58,7 +58,7 @@ func TestScenarioAZFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := svc.Drive("az1", 200, 30*time.Second)
+	stats := svc.Drive(Constant(200).From("az1").For(30 * time.Second))
 	if err := sc.FailAZ("az1", 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestScenarioThrottle(t *testing.T) {
 	if err := svc.Throttle(50, 50); err != nil {
 		t.Fatal(err)
 	}
-	stats := svc.Drive("az1", 500, 10*time.Second)
+	stats := svc.Drive(Constant(500).From("az1").For(10 * time.Second))
 	sc.RunFor(11 * time.Second)
 	if stats.Count(429) == 0 {
 		t.Error("throttle should reject excess traffic")
@@ -107,19 +107,20 @@ func TestScenarioAutoScalesHotService(t *testing.T) {
 	}
 	// Surge past one backend's capacity; the built-in monitor + planner
 	// should scale it.
-	svc.DriveSpike("az1", 300, 12000, 10*time.Second, 50*time.Second, 60*time.Second)
+	svc.Drive(Spike(300, 12000, 10*time.Second, 50*time.Second).From("az1").For(60 * time.Second))
 	sc.RunFor(65 * time.Second)
-	if sc.ScalingOps() == 0 {
-		t.Errorf("monitor should have scaled the hot service; interventions: %v", sc.Interventions())
+	st := sc.Stats()
+	if st.ScalingOps == 0 {
+		t.Errorf("monitor should have scaled the hot service; interventions: %v", st.Interventions)
 	}
 	found := false
-	for _, line := range sc.Interventions() {
+	for _, line := range st.Interventions {
 		if strings.Contains(line, "scale") {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("expected a scale intervention, got %v", sc.Interventions())
+		t.Errorf("expected a scale intervention, got %v", st.Interventions)
 	}
 	if svc.Sandboxed() {
 		t.Error("normal growth must not sandbox")
@@ -132,7 +133,7 @@ func TestScenarioAttackSandboxed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc.Drive("az1", 200, 40*time.Second)
+	svc.Drive(Constant(200).From("az1").For(40 * time.Second))
 	svc.SetSessions(500)
 	// Session flood without matching RPS growth: the attack signature.
 	grow := func() {}
@@ -147,8 +148,58 @@ func TestScenarioAttackSandboxed(t *testing.T) {
 	sc.sim.After(10*time.Second, grow)
 	sc.RunFor(45 * time.Second)
 	if !svc.Sandboxed() {
-		t.Errorf("session flood should be sandboxed; interventions: %v", sc.Interventions())
+		t.Errorf("session flood should be sandboxed; interventions: %v", sc.Stats().Interventions)
 	}
+}
+
+func TestScenarioDeprecatedDriveWrappers(t *testing.T) {
+	// The pre-TrafficPattern entry points must keep working until removal
+	// (see DESIGN.md's deprecation policy).
+	sc := newScenario(t, ScenarioConfig{Seed: 1})
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := svc.DriveConstant("az1", 100, 5*time.Second)
+	s2 := svc.DriveSpike("az1", 10, 100, time.Second, 2*time.Second, 5*time.Second)
+	s3 := svc.DriveRate("az1", func(time.Duration) float64 { return 50 }, 5*time.Second)
+	sc.RunFor(7 * time.Second)
+	for i, st := range []*TrafficStats{s1, s2, s3} {
+		if st.Count(200) == 0 {
+			t.Errorf("wrapper %d drove no traffic", i+1)
+		}
+	}
+	// The deprecated per-metric accessors must agree with Stats().
+	if sc.ScalingOps() != sc.Stats().ScalingOps {
+		t.Error("ScalingOps disagrees with Stats()")
+	}
+	if sc.AdmissionSheds() != sc.Stats().AdmissionSheds {
+		t.Error("AdmissionSheds disagrees with Stats()")
+	}
+	if sc.AdmissionFairness() != sc.Stats().AdmissionFairness {
+		t.Error("AdmissionFairness disagrees with Stats()")
+	}
+	if len(sc.Interventions()) != len(sc.Stats().Interventions) {
+		t.Error("Interventions disagrees with Stats()")
+	}
+}
+
+func TestScenarioDriveRejectsIncompletePatterns(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 1})
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Drive should panic instead of silently driving nothing", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no rate", func() { svc.Drive(TrafficPattern{}.For(time.Second)) })
+	mustPanic("no duration", func() { svc.Drive(Constant(100)) })
 }
 
 func TestScenarioDefaultsAndErrors(t *testing.T) {
@@ -174,14 +225,15 @@ func TestScenarioAdmissionProtectsVictim(t *testing.T) {
 		t.Fatal(err)
 	}
 	// One core serves ~4950 rps; the aggressor alone offers 3x that.
-	aggStats := agg.Drive("az1", 15000, 10*time.Second)
-	vicStats := vic.Drive("az1", 500, 10*time.Second)
+	aggStats := agg.Drive(Constant(15000).From("az1").For(10 * time.Second))
+	vicStats := vic.Drive(Constant(500).From("az1").For(10 * time.Second))
 	sc.RunFor(12 * time.Second)
 
-	if sc.AdmissionSheds() == 0 {
+	st := sc.Stats()
+	if st.AdmissionSheds == 0 {
 		t.Error("3x overload shed nothing")
 	}
-	if fi := sc.AdmissionFairness(); fi <= 0 || fi > 1 {
+	if fi := st.AdmissionFairness; fi <= 0 || fi > 1 {
 		t.Errorf("fairness = %v", fi)
 	}
 	if aggStats.Count(429) == 0 {

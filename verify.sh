@@ -24,3 +24,14 @@ go test -race ./...
 # render and the JSON report must export.
 go run ./cmd/canalsim trace -arch canal -arch istio -requests 50 -json /tmp/canal-trace-breakdown.json >/dev/null
 test -s /tmp/canal-trace-breakdown.json
+
+# Parallel-vs-serial equivalence smoke: the benchmark runner must emit
+# byte-identical stdout regardless of the parallelism level (timing and
+# diagnostics go to stderr), and the timing report must export. A fast
+# experiment subset keeps the gate quick; TestParallelMatchesSerial covers
+# the full set.
+go build -o /tmp/canalbench ./cmd/canalbench
+/tmp/canalbench -parallel 1 -ablations fig2 fig15 table5 abl-shard >/tmp/canalbench-serial.txt 2>/dev/null
+/tmp/canalbench -parallel 8 -ablations -json /tmp/canalbench-timings.json fig2 fig15 table5 abl-shard >/tmp/canalbench-parallel.txt 2>/dev/null
+cmp /tmp/canalbench-serial.txt /tmp/canalbench-parallel.txt
+test -s /tmp/canalbench-timings.json
