@@ -1,23 +1,32 @@
 // Command canalvet runs the repository's invariant linters (internal/lint)
-// over the module: simulation determinism (no wall clock / global rand in
-// sim packages), map-iteration-order hygiene, atomic/plain field-access
-// mixing, lock discipline, and silently dropped errors.
+// over the module. The suite type-checks the whole module from source —
+// stdlib included — so beyond the syntax-level analyzers (simulation
+// determinism, map-iteration order, atomic/plain mixing, lock discipline,
+// dropped errors) it runs the type-aware ones: unit-safe duration
+// arithmetic, context threading, deprecation policing, and
+// goroutine/channel leak detection.
 //
 // Usage:
 //
-//	canalvet ./...          # lint the whole module containing the cwd
-//	canalvet                # same
-//	canalvet -list          # print the analyzers and exit
+//	canalvet ./...            # lint the whole module containing the cwd
+//	canalvet                  # same
+//	canalvet -list            # print the analyzers and exit
+//	canalvet -fix ./...       # apply suggested fixes (gofmt-clean, refuses overlaps)
+//	canalvet -json - ./...    # machine-readable diagnostics on stdout
+//	canalvet -json out.json -stale-as-error ./...
 //
 // Intentional violations are suppressed inline with a justified directive:
 //
 //	//canal:allow <analyzer> <reason...>
 //
-// canalvet exits 1 when any diagnostic survives — including malformed or
-// stale (suppressing-nothing) directives — so it can gate verify.sh and CI.
+// canalvet exits 1 when any real diagnostic survives — including malformed
+// directives — so it can gate verify.sh and CI. Stale directives (ones
+// that suppress nothing) are always reported with their rotting reason
+// text, but only count toward the exit code under -stale-as-error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +34,23 @@ import (
 	"canalmesh/internal/lint"
 )
 
+// jsonDiag is the stable machine-readable diagnostic shape for -json.
+type jsonDiag struct {
+	File     string             `json:"file"`
+	Line     int                `json:"line"`
+	Column   int                `json:"column"`
+	Analyzer string             `json:"analyzer"`
+	Message  string             `json:"message"`
+	Stale    bool               `json:"stale,omitempty"`
+	Fix      *lint.SuggestedFix `json:"suggestedFix,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	root := flag.String("root", ".", "directory inside the module to lint")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
+	jsonOut := flag.String("json", "", "write diagnostics as JSON to this file (\"-\" for stdout)")
+	staleAsError := flag.Bool("stale-as-error", false, "count stale //canal:allow directives toward the exit code")
 	flag.Parse()
 
 	if *list {
@@ -56,11 +79,77 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, lint.Analyzers())
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "canalvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *fix {
+		res, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "canalvet:", err)
+			os.Exit(2)
+		}
+		for file, n := range res.Fixed {
+			fmt.Printf("canalvet: fixed %d problem(s) in %s\n", n, file)
+		}
+		for _, msg := range res.Refused {
+			fmt.Fprintln(os.Stderr, "canalvet:", msg)
+		}
+		// Diagnostics whose fix was applied are resolved; report the rest so
+		// a -fix run still surfaces what needs a human.
+		var remaining []lint.Diagnostic
+		for _, d := range diags {
+			if d.Fix != nil && len(d.Fix.Edits) > 0 && res.Fixed[d.Fix.Edits[0].File] > 0 {
+				continue
+			}
+			remaining = append(remaining, d)
+		}
+		diags = remaining
+		if len(res.Refused) > 0 {
+			os.Exit(1)
+		}
+	}
+
+	errors := 0
 	for _, d := range diags {
 		fmt.Println(d)
+		if !d.Stale || *staleAsError {
+			errors++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "canalvet: %d problem(s)\n", len(diags))
+	if errors > 0 {
+		fmt.Fprintf(os.Stderr, "canalvet: %d problem(s)\n", errors)
 		os.Exit(1)
 	}
+}
+
+// writeJSON renders diags in the stable -json shape. An empty diagnostic
+// list renders as [], not null, so consumers can always iterate.
+func writeJSON(path string, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Stale:    d.Stale,
+			Fix:      d.Fix,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

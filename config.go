@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"canalmesh/internal/admission"
+	"canalmesh/internal/sim"
 )
 
 // FileConfig is the JSON deployment configuration cmd/canalgw loads: the
@@ -44,8 +45,8 @@ type AdmissionFileConfig struct {
 // Build converts the file entry into an admission.Config.
 func (a *AdmissionFileConfig) Build() admission.Config {
 	return admission.Config{
-		Target:   time.Duration(a.TargetMS * float64(time.Millisecond)),
-		Interval: time.Duration(a.IntervalMS * float64(time.Millisecond)),
+		Target:   sim.Scale(time.Millisecond, a.TargetMS),
+		Interval: sim.Scale(time.Millisecond, a.IntervalMS),
 		Weights:  a.Weights,
 		Limiter: admission.LimiterConfig{
 			InitialLimit: a.InitialLimit,
@@ -54,7 +55,7 @@ func (a *AdmissionFileConfig) Build() admission.Config {
 			Tolerance:    a.Tolerance,
 		},
 		RetryBudgetRatio: a.RetryBudgetRatio,
-		RetryAfter:       time.Duration(a.RetryAfterMS * float64(time.Millisecond)),
+		RetryAfter:       sim.Scale(time.Millisecond, a.RetryAfterMS),
 	}
 }
 

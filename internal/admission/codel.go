@@ -3,6 +3,8 @@ package admission
 import (
 	"math"
 	"time"
+
+	"canalmesh/internal/sim"
 )
 
 // CoDel implements the controlled-delay AQM state machine (Nichols &
@@ -95,5 +97,5 @@ func (c *CoDel) shouldDrop(now, sojourn time.Duration) bool {
 // controlLaw schedules the next drop: the inter-drop gap shrinks with the
 // square root of the drop count, CoDel's signature sqrt control law.
 func (c *CoDel) controlLaw(t time.Duration) time.Duration {
-	return t + time.Duration(float64(c.Interval)/math.Sqrt(float64(c.count)))
+	return t + sim.Div(c.Interval, math.Sqrt(float64(c.count)))
 }

@@ -132,7 +132,7 @@ func (q *Queue) Dequeue(now time.Duration) *sim.Work {
 		}
 		tq := q.ring[q.cur]
 		if q.fresh {
-			tq.deficit += time.Duration(float64(q.cfg.Quantum) * tq.weight)
+			tq.deficit += sim.Scale(q.cfg.Quantum, tq.weight)
 			q.fresh = false
 		}
 		head := tq.peek()

@@ -110,9 +110,9 @@ func Fig24LatencyDistribution() *Table {
 	for i := 0; i < 20000; i++ {
 		var app time.Duration
 		if rng.Float64() < 0.55 {
-			app = 40*time.Millisecond + time.Duration(rng.Int63n(int64(10*time.Millisecond)))
+			app = 40*time.Millisecond + sim.Nanos(rng.Int63n(int64(10*time.Millisecond)))
 		} else {
-			app = 100*time.Millisecond + time.Duration(rng.Int63n(int64(100*time.Millisecond)))
+			app = 100*time.Millisecond + sim.Nanos(rng.Int63n(int64(100*time.Millisecond)))
 		}
 		h.ObserveDuration(app + meshOverhead)
 	}

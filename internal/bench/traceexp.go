@@ -71,7 +71,7 @@ func TraceExperiment(archs []string, requests int, seed int64) (*TraceBreakdownR
 		rep.Archs = append(rep.Archs, &ArchTraceBreakdown{
 			Arch:         arch,
 			Breakdown:    trace.Analyze(cfg.Tracer.Kept()),
-			MeasuredMean: time.Duration(lat.Mean() * float64(time.Second)),
+			MeasuredMean: sim.Seconds(lat.Mean()),
 			MeasuredP99:  lat.PercentileDuration(99),
 		})
 	}
@@ -95,7 +95,7 @@ func (r *TraceBreakdownReport) Tables() []*Table {
 			Headers: []string{"#", "Hop", "Net (µs)", "Queue (µs)", "CPU (µs)", "Crypto (µs)", "Mean (µs)"}}
 		b := a.Breakdown
 		for _, h := range b.Hops {
-			n := time.Duration(h.Count)
+			n := time.Duration(h.Count) //canal:allow unitsafe count divisor; integer division of the sums is intentional
 			t.AddRow(h.Index, h.Name, us(h.Net/n), us(h.Queue/n), us(h.CPU/n), us(h.Crypto/n), us(h.Mean()))
 		}
 		t.AddRow("", "TOTAL", "", "", "", "", us(b.HopSum()))

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"canalmesh/internal/cluster"
+	"canalmesh/internal/sim"
 )
 
 // Model selects the architecture being configured.
@@ -245,7 +246,7 @@ func (ctl *Controller) PushIncremental(changedEndpoints, changedRules int) PushS
 // right: larger clusters take longer to complete, not more CPU).
 func (ctl *Controller) finish(targets int, bytes int64) PushStats {
 	build := time.Duration(bytes/1024) * ctl.Sizing.BuildCPUPerKB
-	transfer := time.Duration(float64(bytes) / float64(ctl.Sizing.SouthboundBps) * float64(time.Second))
+	transfer := sim.Seconds(float64(bytes) / float64(ctl.Sizing.SouthboundBps))
 	completion := build + transfer + time.Duration(targets)*ctl.Sizing.PerTargetOverhead
 	return PushStats{
 		Model:      ctl.Model,

@@ -522,7 +522,7 @@ func (g *Gateway) Dispatch(id uint64, clientAZ string, flow cloud.SessionKey, re
 		s.Sessions++
 	}
 	b.window[id]++
-	cost := time.Duration(float64(g.cfg.Costs.GatewayL7Cost(req.BodyBytes)) * costMult)
+	cost := sim.Scale(g.cfg.Costs.GatewayL7Cost(req.BodyBytes), costMult)
 	if req.TLS {
 		cost += 2 * g.cfg.Costs.SymCryptoCost(req.BodyBytes)
 	}

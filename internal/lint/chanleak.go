@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanLeak finds goroutines parked forever on function-local unbuffered
+// channels. The bench runner's first design leaked one goroutine per
+// abandoned experiment exactly this way: a worker sending its result on
+// an unbuffered channel nobody would ever read after the timeout path
+// returned. The analyzer tracks channels created with make(chan T) (no
+// or zero capacity) that never escape the function, and flags:
+//
+//   - a send or receive on such a channel inside a `go func(){...}()`
+//     literal with no escape hatch — no select with a default or second
+//     case, and (for receives) no close of the channel anywhere in the
+//     function;
+//   - ranging over such a channel when the function never closes it —
+//     the range can never terminate.
+//
+// Passing the channel to a call, returning it, or storing it anywhere
+// counts as escaping and silences the analyzer: another function may
+// complete the handshake. Test files are skipped (tests park goroutines
+// on purpose to probe timeout paths).
+func ChanLeak() *Analyzer {
+	return &Analyzer{
+		Name: "chanleak",
+		Doc:  "flag goroutines blocked forever on local unbuffered channels (type-aware)",
+		Run:  runChanLeak,
+	}
+}
+
+func runChanLeak(p *Package, r *Reporter) {
+	if p.TypesInfo == nil {
+		return
+	}
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		forEachFunc(sf.AST, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			checkFuncChans(p, r, fd)
+		})
+	}
+}
+
+// localChan is one tracked function-local unbuffered channel.
+type localChan struct {
+	name    string
+	escaped bool
+	closed  bool
+}
+
+func checkFuncChans(p *Package, r *Reporter, fd *ast.FuncDecl) {
+	chans := map[types.Object]*localChan{}
+
+	// Pass 1: collect `ch := make(chan T)` / `var ch = make(chan T)` with
+	// zero capacity.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok != token.DEFINE || len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, rhs := range v.Rhs {
+				id, ok := v.Lhs[i].(*ast.Ident)
+				if !ok || !isUnbufferedMake(p, rhs) {
+					continue
+				}
+				if obj := p.TypesInfo.Defs[id]; obj != nil {
+					chans[obj] = &localChan{name: id.Name}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(v.Names) != len(v.Values) {
+				return true
+			}
+			for i, val := range v.Values {
+				if !isUnbufferedMake(p, val) {
+					continue
+				}
+				if obj := p.TypesInfo.Defs[v.Names[i]]; obj != nil {
+					chans[obj] = &localChan{name: v.Names[i].Name}
+				}
+			}
+		}
+		return true
+	})
+	if len(chans) == 0 {
+		return
+	}
+
+	// Pass 2: escape analysis. Any use of the channel other than a direct
+	// send/receive/range/close/len/cap or its own declaration marks it
+	// escaped — it may reach another goroutine's hands through a call,
+	// return, or store, and the handshake could complete there.
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lc := chans[chanObjOf(p, id)]
+		if lc == nil {
+			return true
+		}
+		switch parent := parentOf(stack).(type) {
+		case *ast.SendStmt:
+			if parent.Chan != ast.Expr(id) {
+				lc.escaped = true // ch sent over another channel
+			}
+		case *ast.UnaryExpr:
+			if parent.Op != token.ARROW {
+				lc.escaped = true // e.g. &ch
+			}
+		case *ast.RangeStmt:
+			if parent.X != ast.Expr(id) {
+				lc.escaped = true
+			}
+		case *ast.CallExpr:
+			if !isChanBuiltin(p, parent) {
+				lc.escaped = true // passed to a real call
+			} else if fn, ok := parent.Fun.(*ast.Ident); ok && fn.Name == "close" {
+				lc.closed = true
+			}
+		case *ast.AssignStmt, *ast.ValueSpec:
+			// Its own declaration; re-assignment or aliasing would put the
+			// ident on an Lhs/Rhs we also reach here — treat any assignment
+			// context other than the defining one conservatively.
+			if !definesIdent(parent, id) {
+				lc.escaped = true
+			}
+		default:
+			lc.escaped = true // returned, stored in a composite, compared, ...
+		}
+		return true
+	})
+
+	// Pass 3: report.
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			id, ok := v.Chan.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lc := chans[chanObjOf(p, id)]
+			if lc == nil || lc.escaped {
+				return true
+			}
+			if inGoroutine(stack) && !selectEscape(stack) {
+				r.Reportf(v.Arrow,
+					"goroutine sends on unbuffered local channel %s with no select escape; an abandoned receiver leaks this goroutine forever (buffer the channel or select on ctx.Done())",
+					lc.name)
+			}
+		case *ast.UnaryExpr:
+			if v.Op != token.ARROW {
+				return true
+			}
+			id, ok := v.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lc := chans[chanObjOf(p, id)]
+			if lc == nil || lc.escaped || lc.closed {
+				return true
+			}
+			if inGoroutine(stack) && !selectEscape(stack) {
+				r.Reportf(v.OpPos,
+					"goroutine receives from unbuffered local channel %s that is never closed and has no select escape; a lost sender leaks this goroutine forever",
+					lc.name)
+			}
+		case *ast.RangeStmt:
+			id, ok := v.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lc := chans[chanObjOf(p, id)]
+			if lc == nil || lc.escaped || lc.closed {
+				return true
+			}
+			r.Reportf(v.For,
+				"ranging over local channel %s which is never closed; the loop can never terminate", lc.name)
+		}
+		return true
+	})
+}
+
+// chanObjOf resolves an identifier to its object (use or def), so all
+// mentions of one channel variable map to the same tracking entry.
+func chanObjOf(p *Package, id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// isUnbufferedMake matches make(chan T) and make(chan T, 0).
+func isUnbufferedMake(p *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "make" || p.TypesInfo.Uses[fn] != types.Universe.Lookup("make") {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	if _, ok := types.Unalias(p.typeOf(call.Args[0])).(*types.Chan); !ok {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	return len(call.Args) == 2 && isConstZero(p, call.Args[1])
+}
+
+// isChanBuiltin reports whether the call is close/len/cap — the builtins
+// through which a channel does not escape.
+func isChanBuiltin(p *Package, call *ast.CallExpr) bool {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch fn.Name {
+	case "close", "len", "cap":
+		return p.TypesInfo.Uses[fn] == types.Universe.Lookup(fn.Name)
+	}
+	return false
+}
+
+// definesIdent reports whether the assignment/spec node is the one that
+// declares id (the make site we already recorded).
+func definesIdent(n ast.Node, id *ast.Ident) bool {
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		if v.Tok != token.DEFINE {
+			return false
+		}
+		for _, l := range v.Lhs {
+			if l == ast.Expr(id) {
+				return true
+			}
+		}
+	case *ast.ValueSpec:
+		for _, name := range v.Names {
+			if name == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inGoroutine reports whether the innermost enclosing function literal is
+// launched directly by a go statement (`go func(){...}()`).
+func inGoroutine(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		// Is this literal the callee of a GoStmt's call?
+		if i >= 2 {
+			if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == ast.Expr(lit) {
+				if _, ok := stack[i-2].(*ast.GoStmt); ok {
+					return true
+				}
+			}
+		}
+		return false // inner literal not go-launched shields the op
+	}
+	return false
+}
+
+// selectEscape reports whether the channel op sits in a select clause
+// that has an escape hatch: a default clause, or at least one other comm
+// clause (typically <-ctx.Done()) the goroutine can take instead.
+func selectEscape(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.FuncLit:
+			return false // a nested function: the select is not around this op
+		case *ast.SelectStmt:
+			comms := 0
+			hasDefault := false
+			for _, c := range v.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+				} else {
+					comms++
+				}
+			}
+			return hasDefault || comms >= 2
+		}
+	}
+	return false
+}

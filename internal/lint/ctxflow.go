@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow enforces context threading. The parallel bench runner (DESIGN
+// §8) abandons experiments on timeout and relies on cancellation reaching
+// every Run(ctx) path; a context.Background() minted mid-call-chain
+// quietly detaches everything below it from that cancellation. The rule:
+// non-main, non-test code never creates a root context. A function that
+// received (or closes over) a ctx threads it; a function that needs one
+// and has none accepts it from its caller.
+//
+// When an in-scope ctx exists, the diagnostic carries a fix replacing the
+// context.Background()/TODO() call with the parameter (and dropping the
+// "context" import if that call was its last use in the file).
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "forbid fresh root contexts in non-main code; thread the received ctx (type-aware)",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *Package, r *Reporter) {
+	if p.TypesInfo == nil || p.baseName() == "main" {
+		return
+	}
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		ctxName, ok := importName(sf.AST, "context")
+		if !ok {
+			continue
+		}
+		refs := contextRefs(sf.AST, ctxName)
+		walkWithStack(sf.AST, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := ""
+			if isPkgCall(call, ctxName, "Background") {
+				fn = "Background"
+			} else if isPkgCall(call, ctxName, "TODO") {
+				fn = "TODO"
+			}
+			if fn == "" {
+				return true
+			}
+			if param := enclosingCtxParam(p, stack); param != "" {
+				fix := Fix{
+					Message: "thread the in-scope context",
+					Edits:   []Edit{{Pos: call.Pos(), End: call.End(), NewText: param}},
+				}
+				if refs == 1 {
+					if e, ok := importDeletionEdit(sf.AST, "context"); ok {
+						fix.Edits = append(fix.Edits, e)
+					}
+				}
+				r.ReportFix(call.Pos(), fix,
+					"context.%s() discards the in-scope context; thread %s so cancellation reaches this call path", fn, param)
+			} else {
+				r.Reportf(call.Pos(),
+					"context.%s() mints a root context in non-main, non-test code; accept a context.Context from the caller and thread it", fn)
+			}
+			return true
+		})
+	}
+}
+
+// enclosingCtxParam walks outward over the enclosing functions (literals
+// capture lexically, so any level counts) and returns the name of the
+// nearest context.Context parameter, or "".
+func enclosingCtxParam(p *Package, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch v := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = v.Type
+		case *ast.FuncLit:
+			ft = v.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if !namedType(p.typeOf(field.Type), "context", "Context") {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					return name.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// contextRefs counts qualified references through the file's "context"
+// import, so the fix knows whether removing one call orphans the import.
+func contextRefs(f *ast.File, ctxName string) int {
+	n := 0
+	ast.Inspect(f, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == ctxName {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// importDeletionEdit builds an edit removing the named import from the
+// file: the whole declaration when it is the only import, otherwise just
+// the spec (gofmt reclaims the leftover line).
+func importDeletionEdit(f *ast.File, path string) (Edit, bool) {
+	var spec *ast.ImportSpec
+	var owner *ast.GenDecl
+	total := 0
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		for _, s := range gd.Specs {
+			is := s.(*ast.ImportSpec)
+			total++
+			if is.Path.Value == `"`+path+`"` {
+				spec, owner = is, gd
+			}
+		}
+	}
+	if spec == nil {
+		return Edit{}, false
+	}
+	if total == 1 {
+		return Edit{Pos: owner.Pos(), End: owner.End()}, true
+	}
+	return Edit{Pos: spec.Pos(), End: spec.End()}, true
+}

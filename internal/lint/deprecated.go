@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deprecated enforces the deprecation policy from DESIGN §8: an
+// identifier whose doc comment carries a "Deprecated:" paragraph keeps
+// compiling (external users get a grace window) but gains no new in-repo
+// callers — and the existing ones migrate. The analyzer indexes every
+// deprecated declaration in the module (functions, methods, consts, vars,
+// types) and flags each use, in any package, test files and main packages
+// included; the only sanctioned references are the declarations
+// themselves and //canal:allow-annotated compatibility tests.
+func Deprecated() *Analyzer {
+	return &Analyzer{
+		Name: "deprecated",
+		Doc:  "flag in-repo uses of identifiers documented Deprecated: (type-aware)",
+		Run:  runDeprecated,
+	}
+}
+
+// deprIndex maps a symbol key ("pkgpath\x00Name" or
+// "pkgpath\x00Type.Method") to the first line of its deprecation notice.
+type deprIndex struct {
+	items map[string]string
+}
+
+// deprecatedText extracts the "Deprecated:" notice from a doc comment,
+// returning its first line ("" when absent).
+func deprecatedText(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// BuildDeprecated indexes every Deprecated: declaration in the module.
+// Exposed so the runner can build it once for all packages.
+func BuildDeprecated(pkgs []*Package) *deprIndex {
+	idx := &deprIndex{items: map[string]string{}}
+	for _, p := range pkgs {
+		path := p.ImportPath()
+		for _, sf := range p.Files {
+			for _, decl := range sf.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					text := deprecatedText(d.Doc)
+					if text == "" {
+						continue
+					}
+					if d.Recv == nil {
+						idx.items[path+"\x00"+d.Name.Name] = text
+					} else if typeName, _, ok := recvTypeName(d); ok {
+						idx.items[path+"\x00"+typeName+"."+d.Name.Name] = text
+					}
+				case *ast.GenDecl:
+					declText := deprecatedText(d.Doc)
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if text := firstNonEmpty(deprecatedText(s.Doc), declText); text != "" {
+								idx.items[path+"\x00"+s.Name.Name] = text
+							}
+						case *ast.ValueSpec:
+							if text := firstNonEmpty(deprecatedText(s.Doc), declText); text != "" {
+								for _, name := range s.Names {
+									idx.items[path+"\x00"+name.Name] = text
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// deprecatedIdx is set by the runner before analyzers execute; when nil,
+// the analyzer indexes only the package under analysis (fixture mode).
+var deprecatedIdx *deprIndex
+
+// SetDeprecated installs a module-wide deprecation index (call before Run).
+func SetDeprecated(idx *deprIndex) { deprecatedIdx = idx }
+
+// keyForObject renders the index key for a used object, or "" when the
+// object kind is never indexed (locals, fields, imported packages).
+// Matching is by (package path, name) rather than object identity: the
+// engine re-checks test-augmented units, so the same declaration can be
+// represented by more than one types.Object (see typecheck.go).
+func keyForObject(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if !ok {
+			return ""
+		}
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := types.Unalias(t).(*types.Named)
+			if !ok {
+				return ""
+			}
+			return path + "\x00" + named.Obj().Name() + "." + o.Name()
+		}
+		return path + "\x00" + o.Name()
+	case *types.Var:
+		if o.IsField() || o.Parent() != o.Pkg().Scope() {
+			return ""
+		}
+		return path + "\x00" + o.Name()
+	case *types.Const:
+		if o.Parent() != o.Pkg().Scope() {
+			return ""
+		}
+		return path + "\x00" + o.Name()
+	case *types.TypeName:
+		if o.Parent() != o.Pkg().Scope() {
+			return ""
+		}
+		return path + "\x00" + o.Name()
+	}
+	return ""
+}
+
+func runDeprecated(p *Package, r *Reporter) {
+	if p.TypesInfo == nil {
+		return
+	}
+	idx := deprecatedIdx
+	if idx == nil {
+		idx = BuildDeprecated([]*Package{p})
+	}
+	if len(idx.items) == 0 {
+		return
+	}
+	for _, sf := range p.Files {
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			key := keyForObject(obj)
+			if key == "" {
+				return true
+			}
+			if text, ok := idx.items[key]; ok {
+				r.Reportf(id.Pos(), "%s is deprecated: %s", id.Name, text)
+			}
+			return true
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"strings"
 )
@@ -15,6 +16,7 @@ const directiveMarker = "//canal:allow"
 // Directive is one parsed, well-formed suppression.
 type Directive struct {
 	Pos      token.Position
+	End      token.Position // one past the comment, for -fix deletion edits
 	Analyzer string
 	Reason   string
 	used     bool
@@ -58,6 +60,7 @@ func ParseDirectives(p *Package) ([]*Directive, []Diagnostic) {
 				}
 				dirs = append(dirs, &Directive{
 					Pos:      p.Fset.Position(c.Pos()),
+					End:      p.Fset.Position(c.End()),
 					Analyzer: fields[0],
 					Reason:   strings.TrimSpace(rest[strings.Index(rest, fields[0])+len(fields[0]):]),
 				})
@@ -91,10 +94,23 @@ func ApplyDirectives(diags []Diagnostic, dirs []*Directive) []Diagnostic {
 	}
 	for _, dir := range dirs {
 		if !dir.used {
+			// Stale directives carry their reason text, so the report shows
+			// what justification is rotting, and a deletion fix: -fix
+			// removes the comment (gofmt reclaims any whitespace left).
 			out = append(out, Diagnostic{
 				Pos:      dir.Pos,
 				Analyzer: "directive",
-				Message:  "canal:allow " + dir.Analyzer + " suppresses nothing (remove the stale directive)",
+				Message: fmt.Sprintf("canal:allow %s suppresses nothing (stale reason: %q; remove the directive)",
+					dir.Analyzer, dir.Reason),
+				Stale: true,
+				Fix: &SuggestedFix{
+					Message: "delete the stale //canal:allow directive",
+					Edits: []TextEdit{{
+						File:  dir.Pos.Filename,
+						Start: dir.Pos.Offset,
+						End:   dir.End.Offset,
+					}},
+				},
 			})
 		}
 	}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// The suggested-fix engine. Analyzers attach a SuggestedFix to a
+// diagnostic via Reporter.ReportFix; `canalvet -fix` collects the fixes of
+// every *surviving* diagnostic (suppressed findings never produce edits)
+// and applies them with ApplyFixes. The contract:
+//
+//   - edits are byte-offset splices against the file content the analyzers
+//     saw; each rewritten file is gofmt-ed (go/format) before writing, so
+//     a -fix run can never introduce a formatting violation;
+//   - overlapping edits are refused file-by-file — the file is left
+//     untouched and the conflict reported — rather than guessed at;
+//   - fixes are idempotent by construction: an applied fix removes the
+//     pattern its analyzer matches, so a second run finds nothing. CI
+//     asserts this by running `canalvet -fix` and requiring an empty diff.
+
+// Fix is the analyzer-side description of a remediation, still in
+// token.Pos space; Reporter.ReportFix resolves it to byte offsets.
+type Fix struct {
+	Message string
+	Edits   []Edit
+}
+
+// Edit replaces [Pos, End) with NewText.
+type Edit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// TextEdit is a resolved edit: byte offsets within a named file.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// SuggestedFix is the resolved remediation carried by a Diagnostic.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Fixed maps each rewritten file to the number of fixes applied to it.
+	Fixed map[string]int
+	// Refused lists conflicts (overlapping edits) that left a file
+	// untouched, as human-readable messages.
+	Refused []string
+}
+
+// ApplyFixes applies every suggested fix among diags to the files on disk.
+// Identical duplicate edits collapse; genuinely overlapping edits cause
+// the whole file to be refused. Each changed file is reformatted with
+// go/format before being written back.
+func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
+	type fileEdits struct {
+		edits []TextEdit
+		fixes int
+	}
+	perFile := map[string]*fileEdits{}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			fe := perFile[e.File]
+			if fe == nil {
+				fe = &fileEdits{}
+				perFile[e.File] = fe
+			}
+			fe.edits = append(fe.edits, e)
+		}
+		perFile[d.Fix.Edits[0].File].fixes++
+	}
+	res := &FixResult{Fixed: map[string]int{}}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		fe := perFile[file]
+		edits := dedupeEdits(fe.edits)
+		if conflict := overlapping(edits); conflict != "" {
+			res.Refused = append(res.Refused, fmt.Sprintf("%s: refusing overlapping fixes (%s)", file, conflict))
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return res, err
+		}
+		out, err := spliceEdits(src, edits)
+		if err != nil {
+			res.Refused = append(res.Refused, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			// A fix that breaks parsing must never reach disk.
+			res.Refused = append(res.Refused, fmt.Sprintf("%s: fixed source does not gofmt: %v", file, err))
+			continue
+		}
+		if err := os.WriteFile(file, formatted, 0o644); err != nil {
+			return res, err
+		}
+		res.Fixed[file] = fe.fixes
+	}
+	return res, nil
+}
+
+// dedupeEdits sorts edits by start offset and drops exact duplicates (two
+// diagnostics may legitimately propose the same deletion).
+func dedupeEdits(edits []TextEdit) []TextEdit {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+	out := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == out[len(out)-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// overlapping returns a description of the first overlap among
+// start-sorted edits, or "" when they are disjoint.
+func overlapping(edits []TextEdit) string {
+	for i := 1; i < len(edits); i++ {
+		if edits[i].Start < edits[i-1].End {
+			return fmt.Sprintf("offsets %d-%d and %d-%d", edits[i-1].Start, edits[i-1].End, edits[i].Start, edits[i].End)
+		}
+	}
+	return ""
+}
+
+// spliceEdits applies start-sorted disjoint edits to src.
+func spliceEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	var out []byte
+	prev := 0
+	for _, e := range edits {
+		if e.Start < prev || e.End > len(src) || e.Start > e.End {
+			return nil, fmt.Errorf("edit %d-%d out of range (file is %d bytes)", e.Start, e.End, len(src))
+		}
+		out = append(out, src[prev:e.Start]...)
+		out = append(out, e.NewText...)
+		prev = e.End
+	}
+	out = append(out, src[prev:]...)
+	return out, nil
+}
+
+// Fixable reports how many of diags carry an applicable fix.
+func Fixable(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Fix != nil && len(d.Fix.Edits) > 0 {
+			n++
+		}
+	}
+	return n
+}

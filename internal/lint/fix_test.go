@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempSource(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "src.go")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readBack(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func diagWithEdit(file string, start, end int, newText string) Diagnostic {
+	return Diagnostic{Fix: &SuggestedFix{
+		Message: "test fix",
+		Edits:   []TextEdit{{File: file, Start: start, End: end, NewText: newText}},
+	}}
+}
+
+func TestApplyFixesRewritesAndFormats(t *testing.T) {
+	src := "package p\n\nimport \"time\"\n\nvar x = time.Duration(5)\n"
+	path := writeTempSource(t, src)
+	old := "time.Duration(5)"
+	start := strings.Index(src, old)
+	res, err := ApplyFixes([]Diagnostic{diagWithEdit(path, start, start+len(old), "5*time.Nanosecond")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Refused) != 0 || res.Fixed[path] != 1 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	got := readBack(t, path)
+	if !strings.Contains(got, "5 * time.Nanosecond") {
+		t.Errorf("fix not applied: %q", got)
+	}
+	// The rewritten file must already be gofmt-clean: formatting it again
+	// changes nothing, so a -fix run can never trip the gofmt gate.
+	formatted, err := format.Source([]byte(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(formatted) != got {
+		t.Errorf("fixed file is not gofmt-clean:\n%q\nvs\n%q", got, formatted)
+	}
+}
+
+func TestApplyFixesRefusesOverlap(t *testing.T) {
+	src := "package p\n\nvar value = 12345\n"
+	path := writeTempSource(t, src)
+	start := strings.Index(src, "12345")
+	diags := []Diagnostic{
+		diagWithEdit(path, start, start+4, "9"),
+		diagWithEdit(path, start+2, start+5, "8"),
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Refused) != 1 || !strings.Contains(res.Refused[0], "overlapping") {
+		t.Fatalf("want one overlap refusal, got %+v", res)
+	}
+	if got := readBack(t, path); got != src {
+		t.Errorf("refused file was modified: %q", got)
+	}
+}
+
+func TestApplyFixesDedupesIdenticalEdits(t *testing.T) {
+	src := "package p\n\nvar a = 1 // stale\n"
+	path := writeTempSource(t, src)
+	start := strings.Index(src, " // stale")
+	d := diagWithEdit(path, start, start+len(" // stale"), "")
+	res, err := ApplyFixes([]Diagnostic{d, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Refused) != 0 {
+		t.Fatalf("identical duplicate edits refused: %+v", res)
+	}
+	if got := readBack(t, path); strings.Contains(got, "stale") {
+		t.Errorf("deletion not applied: %q", got)
+	}
+}
+
+func TestApplyFixesRefusesUnparseableResult(t *testing.T) {
+	src := "package p\n\nvar a = 1\n"
+	path := writeTempSource(t, src)
+	start := strings.Index(src, "var")
+	res, err := ApplyFixes([]Diagnostic{diagWithEdit(path, start, start+3, "vrr")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Refused) != 1 || !strings.Contains(res.Refused[0], "gofmt") {
+		t.Fatalf("want a does-not-gofmt refusal, got %+v", res)
+	}
+	if got := readBack(t, path); got != src {
+		t.Errorf("unparseable fix reached disk: %q", got)
+	}
+}

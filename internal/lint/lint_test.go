@@ -166,6 +166,50 @@ func TestErrDropSkipsTests(t *testing.T) {
 	}
 }
 
+// runTypedFixture is runFixture for the type-aware analyzers: the fixture
+// is type-checked first (and must type-check cleanly — a fixture with type
+// errors would silently test nothing, since typed analyzers degrade to
+// silence on partial information).
+func runTypedFixture(t *testing.T, name, poseDir, analyzer string) []Diagnostic {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", name), poseDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	TypeCheck([]*Package{pkg})
+	for _, d := range pkg.TypeErrors {
+		t.Fatalf("fixture %s must type-check: %s", name, d)
+	}
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		if a.Name != analyzer {
+			continue
+		}
+		a.Run(pkg, &Reporter{fset: pkg.Fset, analyzer: a.Name, out: &diags})
+	}
+	return diags
+}
+
+func TestUnitSafe(t *testing.T) {
+	diags := runTypedFixture(t, "unitsafe", "internal/sim", "unitsafe")
+	checkFixture(t, fixtureFile("unitsafe"), diags)
+}
+
+func TestCtxFlow(t *testing.T) {
+	diags := runTypedFixture(t, "ctxflow", "internal/gateway", "ctxflow")
+	checkFixture(t, fixtureFile("ctxflow"), diags)
+}
+
+func TestDeprecated(t *testing.T) {
+	diags := runTypedFixture(t, "deprecated", "internal/keyserver", "deprecated")
+	checkFixture(t, fixtureFile("deprecated"), diags)
+}
+
+func TestChanLeak(t *testing.T) {
+	diags := runTypedFixture(t, "chanleak", "internal/bench", "chanleak")
+	checkFixture(t, fixtureFile("chanleak"), diags)
+}
+
 // TestDirectivePipeline runs the full suite (analyzers + directive
 // processing) over the directive fixture.
 func TestDirectivePipeline(t *testing.T) {
@@ -175,12 +219,38 @@ func TestDirectivePipeline(t *testing.T) {
 	}
 	diags := Run([]*Package{pkg}, Analyzers())
 	checkFixture(t, fixtureFile("directive"), diags)
+	// The stale-directive report must carry the rotting reason text, the
+	// Stale marker (so only -stale-as-error counts it), and a deletion fix.
+	found := false
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "suppresses nothing") {
+			continue
+		}
+		found = true
+		if !d.Stale {
+			t.Error("stale directive diagnostic not marked Stale")
+		}
+		if !strings.Contains(d.Message, "stale reason:") {
+			t.Errorf("stale report lacks the reason text: %s", d.Message)
+		}
+		if d.Fix == nil || len(d.Fix.Edits) != 1 || d.Fix.Edits[0].NewText != "" {
+			t.Errorf("stale report lacks a deletion fix: %+v", d.Fix)
+		}
+	}
+	if !found {
+		t.Error("directive fixture produced no stale-directive report")
+	}
 }
 
 // TestSelfHost runs the full suite over this repository: the codebase must
 // stay canalvet-clean, with every intentional violation carrying a justified
-// //canal:allow.
+// //canal:allow. This is the regression gate for the typed engine too — all
+// nine analyzers run with full type information over every package, and any
+// type-check failure surfaces here as a "typecheck" diagnostic.
 func TestSelfHost(t *testing.T) {
+	if n := len(Analyzers()); n != 9 {
+		t.Fatalf("suite has %d analyzers, want 9 (5 syntactic + 4 type-aware)", n)
+	}
 	root, err := FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +262,17 @@ func TestSelfHost(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; loader lost the module", len(pkgs))
 	}
+	for _, p := range pkgs {
+		if p.Module != "canalmesh" {
+			t.Fatalf("package %q loaded under module %q", p.Dir, p.Module)
+		}
+	}
 	for _, d := range Run(pkgs, Analyzers()) {
 		t.Errorf("%s", d)
+	}
+	for _, p := range pkgs {
+		if p.TypesInfo == nil || p.TypesPkg == nil {
+			t.Errorf("package %q missing type information after Run", p.Dir)
+		}
 	}
 }

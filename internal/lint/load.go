@@ -29,6 +29,24 @@ func FindModuleRoot(dir string) (string, error) {
 	}
 }
 
+// moduleName reads the module path from root/go.mod, defaulting to
+// DefaultModule when the file or directive is absent (fixture trees).
+func moduleName(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return DefaultModule
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if rest = strings.TrimSpace(rest); rest != "" {
+				return strings.Trim(rest, `"`)
+			}
+		}
+	}
+	return DefaultModule
+}
+
 // LoadModule parses every Go package under root into one shared FileSet.
 // Directories named testdata, vendor, or starting with "." or "_" are
 // skipped (testdata holds the linter's own deliberately-violating fixtures).
@@ -36,6 +54,7 @@ func FindModuleRoot(dir string) (string, error) {
 // not parse would under-report, not over-report.
 func LoadModule(root string) ([]*Package, *token.FileSet, error) {
 	fset := token.NewFileSet()
+	module := moduleName(root)
 	var pkgs []*Package
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -61,6 +80,7 @@ func LoadModule(root string) ([]*Package, *token.FileSet, error) {
 			return err
 		}
 		if pkg != nil {
+			pkg.Module = module
 			pkgs = append(pkgs, pkg)
 		}
 		return nil
@@ -92,7 +112,7 @@ func loadDir(fset *token.FileSet, dir, rel string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &Package{Dir: rel, Fset: fset}
+	pkg := &Package{Dir: rel, Fset: fset, Module: DefaultModule}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") || strings.HasPrefix(e.Name(), "_") {
 			continue

@@ -1,0 +1,69 @@
+// Package bench is the chanleak fixture: goroutines parked forever on
+// function-local unbuffered channels.
+package bench
+
+import "context"
+
+func leakySend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want "goroutine sends on unbuffered local channel ch"
+	}()
+}
+
+func leakyRecv() {
+	done := make(chan struct{})
+	go func() {
+		<-done // want "never closed and has no select escape"
+	}()
+}
+
+func closedRecv() {
+	done := make(chan struct{})
+	go func() {
+		<-done // a close elsewhere in the function unblocks this receive
+	}()
+	close(done)
+}
+
+func selectEscapes(ctx context.Context) {
+	res := make(chan int)
+	go func() {
+		select {
+		case res <- 1: // the ctx.Done() case is the escape hatch
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func buffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1 // a buffered send cannot block
+	}()
+}
+
+func escapes() {
+	ch := make(chan int)
+	go produce(ch) // the handshake may complete in produce
+	go func() {
+		ch <- 2 // escaped channels are another function's contract
+	}()
+}
+
+func produce(ch chan int) { ch <- 1 }
+
+func leakyRange() {
+	ch := make(chan int)
+	for v := range ch { // want "never closed; the loop can never terminate"
+		_ = v
+	}
+}
+
+func closedRange() {
+	ch := make(chan int)
+	close(ch)
+	for v := range ch {
+		_ = v
+	}
+}

@@ -1,0 +1,30 @@
+// Package gateway is the ctxflow fixture: non-main, non-test code must
+// thread the context it received instead of minting root contexts.
+package gateway
+
+import "context"
+
+func threaded(ctx context.Context) error {
+	return work(ctx) // threading the parameter is the point
+}
+
+func rethreads(ctx context.Context) error {
+	return work(context.Background()) // want "discards the in-scope context; thread ctx"
+}
+
+func nested(ctx context.Context) {
+	f := func() error {
+		return work(context.TODO()) // want "discards the in-scope context; thread ctx"
+	}
+	_ = f()
+}
+
+func orphan() error {
+	return work(context.Background()) // want "mints a root context"
+}
+
+func blind(_ context.Context) error {
+	return work(context.TODO()) // want "mints a root context"
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

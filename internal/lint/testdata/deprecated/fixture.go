@@ -1,0 +1,43 @@
+// Package keyserver is the deprecated fixture: uses of identifiers whose
+// doc comments carry a Deprecated: paragraph are flagged wherever type
+// information resolves them, including methods and package-level values.
+package keyserver
+
+// Deprecated: use NewThing.
+func OldThing() int { return 1 }
+
+func NewThing() int { return 2 }
+
+// OldLimit is the retired default.
+//
+// Deprecated: use Limits.Default.
+const OldLimit = 10
+
+type Widget struct{}
+
+// Deprecated: use Widget.Run.
+func (w Widget) Go() {}
+
+func (w Widget) Run() {}
+
+// Deprecated: use Config.
+type LegacyConfig struct{ N int }
+
+// holder's field shares the deprecated const's name; field accesses must
+// not be mistaken for the package-level symbol.
+type holder struct {
+	OldLimit int
+}
+
+func use() {
+	_ = OldThing() // want "OldThing is deprecated: use NewThing."
+	_ = NewThing()
+	_ = OldLimit // want "OldLimit is deprecated: use Limits.Default."
+	var w Widget
+	w.Go() // want "Go is deprecated: use Widget.Run."
+	w.Run()
+	var c LegacyConfig // want "LegacyConfig is deprecated: use Config."
+	_ = c
+	h := holder{OldLimit: 3}
+	_ = h.OldLimit
+}

@@ -1,0 +1,10 @@
+// Package broken fails type-checking on purpose: the engine must degrade
+// to reporting the failure and keep whatever partial information it
+// gathered, never panic or abort the run.
+package broken
+
+func Bad() int {
+	return undefinedIdentifier + 1
+}
+
+func Good() int { return 4 }

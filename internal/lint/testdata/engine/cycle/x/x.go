@@ -1,0 +1,7 @@
+// Package x half of the import cycle x <-> y: the engine must report the
+// cycle as a typecheck diagnostic, not hang or overflow resolving it.
+package x
+
+import "cycle/y"
+
+func X() int { return y.Y() }

@@ -1,0 +1,5 @@
+package y
+
+import "cycle/x"
+
+func Y() int { return x.X() }

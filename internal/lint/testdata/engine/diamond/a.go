@@ -1,0 +1,13 @@
+// Package a is the apex of the diamond import graph a -> {b, c} -> d:
+// the engine must type-check d once and hand both b and c the same
+// cached *types.Package.
+package a
+
+import (
+	"diamond/b"
+	"diamond/c"
+)
+
+// Total exercises both arms so the apex only type-checks if the shared
+// base resolved identically through each.
+func Total() int { return b.Twice() + c.Thrice() }

@@ -1,0 +1,5 @@
+package b
+
+import "diamond/d"
+
+func Twice() int { return 2 * d.Base() }

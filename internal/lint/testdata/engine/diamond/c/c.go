@@ -1,0 +1,5 @@
+package c
+
+import "diamond/d"
+
+func Thrice() int { return 3 * d.Base() }

@@ -1,0 +1,3 @@
+package d
+
+func Base() int { return 7 }

@@ -1,0 +1,3 @@
+module diamond
+
+go 1.23

@@ -1,0 +1,58 @@
+// Package sim is the unitsafe fixture. The test poses it as
+// canalmesh/internal/sim, so the Time type below resolves as the real
+// instant type and the sim.Time crossing rules apply to it.
+package sim
+
+import "time"
+
+// Time mirrors the real sim.Time under the posed import path.
+type Time time.Duration
+
+// FromDuration's own body is the crossing the analyzer polices; the real
+// package carries a //canal:allow here.
+func FromDuration(d time.Duration) Time { return Time(d) } // want "conversion between sim.Time and time.Duration"
+
+// Nanos mirrors the real constructor; its body is the unit-less
+// conversion it exists to replace.
+func Nanos(n int64) time.Duration { return time.Duration(n) } // want "unit-less conversion to time.Duration"
+
+const interval = 50 * time.Millisecond // scaling a unit constant is the blessed spelling
+
+func bareLiterals(d time.Duration) time.Duration {
+	var x time.Duration = 1500 // want "bare numeric literal 1500"
+	x += 20                    // want "bare numeric literal 20"
+	if d > 90 {                // want "bare numeric literal 90"
+		return d / 2 // dividing by a count is fine
+	}
+	return x + 3*time.Second
+}
+
+func bareInstant() Time {
+	return 99 // want "bare numeric literal 99 used as sim.Time"
+}
+
+func conversions(n int, f float64, gap time.Duration) time.Duration {
+	a := time.Duration(n)       // want "unit-less conversion to time.Duration"
+	b := time.Duration(f * 1e6) // want "unit-less conversion to time.Duration"
+	c := time.Duration(n) * gap // scaling a duration by a count, not a conversion bug
+	z := time.Duration(0)       // zero is unit-free
+	e := time.Duration(25)      // want "conversion of bare literal 25"
+	return a + b + c + z + e
+}
+
+func instantConversions(n int) Time {
+	return Time(n) // want "unit-less conversion to sim.Time"
+}
+
+func crossings(t Time, d time.Duration) {
+	_ = time.Duration(t) // want "conversion between sim.Time and time.Duration"
+	_ = Time(d)          // want "conversion between sim.Time and time.Duration"
+	_ = FromDuration(d)  // the named crossing point is the fix
+}
+
+func products(a, b time.Duration) time.Duration {
+	x := a * b // want "nanoseconds-squared"
+	y := 3 * time.Second
+	z := interval * 2 // constant operands are calibration, not a unit bug
+	return x + y + z
+}

@@ -9,7 +9,11 @@
 // DESIGN.md §1 for the substitution rationale.
 package netmodel
 
-import "time"
+import (
+	"time"
+
+	"canalmesh/internal/sim"
+)
 
 // Place identifies where a component runs. Empty fields compare as wildcards
 // at that level: two Places with the same Node are co-located, same AZ but
@@ -118,7 +122,7 @@ func (c Costs) GatewayL7Cost(bodyBytes int) time.Duration {
 	if f <= 0 {
 		f = 1
 	}
-	return time.Duration(float64(c.L7Cost(bodyBytes)) * f)
+	return sim.Scale(c.L7Cost(bodyBytes), f)
 }
 
 // SymCryptoCost returns the CPU cost of symmetric-encrypting (or decrypting)

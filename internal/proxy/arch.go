@@ -11,7 +11,7 @@ import (
 // handling, no route matching).
 const respL7Factor = 0.5
 
-func half(d time.Duration) time.Duration { return time.Duration(float64(d) * respL7Factor) }
+func half(d time.Duration) time.Duration { return sim.Scale(d, respL7Factor) }
 
 // Direct is the no-service-mesh baseline: client talks straight to the
 // server over the kernel stack.

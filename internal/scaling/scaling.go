@@ -310,7 +310,7 @@ func (p *Planner) newDuration() time.Duration {
 // (configuration extend, ~23 s median, Table 4).
 func SampleReuseExec(rng *rand.Rand) time.Duration {
 	jitter := rng.NormFloat64() * 0.35
-	d := time.Duration(float64(ReuseMedian) * math.Exp(jitter))
+	d := sim.Scale(ReuseMedian, math.Exp(jitter))
 	if d < 5*time.Second {
 		d = 5 * time.Second
 	}
@@ -322,7 +322,7 @@ func SampleReuseExec(rng *rand.Rand) time.Duration {
 func SampleNewExec(rng *rand.Rand) time.Duration {
 	base := NewVMCreate + NewImageLoad + NewNetworkSetup + NewRegistration
 	jitter := rng.NormFloat64() * 0.2
-	d := time.Duration(float64(base) * math.Exp(jitter))
+	d := sim.Scale(base, math.Exp(jitter))
 	if d < 5*time.Minute {
 		d = 5 * time.Minute
 	}
@@ -333,5 +333,5 @@ func SampleNewExec(rng *rand.Rand) time.Duration {
 // dropping below threshold (load redistribution across the enlarged
 // backend set).
 func SampleSettle(rng *rand.Rand) time.Duration {
-	return 20*time.Second + time.Duration(rng.Int63n(int64(40*time.Second)))
+	return 20*time.Second + sim.Nanos(rng.Int63n(int64(40*time.Second)))
 }

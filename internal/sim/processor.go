@@ -248,7 +248,7 @@ func (p *Processor) UtilizationRange(from, to time.Duration) float64 {
 		return 0
 	}
 	var sum time.Duration
-	for b := int64(from / UtilBucket); b <= int64((to-1)/UtilBucket); b++ {
+	for b := int64(from / UtilBucket); b <= int64((to-time.Nanosecond)/UtilBucket); b++ {
 		sum += p.busy[b]
 	}
 	u := float64(sum) / (float64(to-from) * float64(len(p.cores)))

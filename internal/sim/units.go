@@ -1,0 +1,76 @@
+package sim
+
+import "time"
+
+// This file is the one blessed home for unit-carrying time conversions.
+// Everywhere else in the simulation-facing packages, canalvet's unitsafe
+// analyzer rejects arithmetic that mixes time.Duration (or sim.Time) with
+// bare numeric literals and unit-less time.Duration(...) conversions: a
+// number with no unit attached is exactly how per-hop cost accounting
+// drifts (a float of seconds silently read as nanoseconds, a count added
+// to a latency). Code that needs to turn a number into a duration names
+// the unit with one of the constructors below, or multiplies by an
+// explicit time unit constant.
+
+// Time is a virtual-time instant: a duration since the start of the
+// simulation, as returned by Sim.Now. It is declared as its own type so
+// that code opting in can keep instants and durations apart — adding two
+// instants is as meaningless as multiplying two durations — and so the
+// unitsafe analyzer can police conversions between the two: direct
+// sim.Time(d)/time.Duration(t) conversions are flagged; FromDuration and
+// Time.Duration are the named, greppable crossing points.
+type Time time.Duration
+
+// FromDuration converts a duration-since-start into a virtual-time instant.
+func FromDuration(d time.Duration) Time { return Time(d) } //canal:allow unitsafe FromDuration is the blessed Duration->Time crossing point
+
+// Duration converts the instant back into a duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) } //canal:allow unitsafe Time.Duration is the blessed Time->Duration crossing point
+
+// ToDuration is the free-function form of Time.Duration, for call sites
+// that hold the instant in an expression rather than a variable.
+func ToDuration(t Time) time.Duration { return time.Duration(t) } //canal:allow unitsafe ToDuration is the blessed Time->Duration crossing point
+
+// Integer is the constraint for the integer-count constructors.
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+// Nanos names an integer count of nanoseconds as a duration. It replaces
+// bare time.Duration(n) conversions, whose implicit nanosecond unit is
+// invisible at the call site.
+func Nanos[N Integer](n N) time.Duration {
+	return time.Duration(n) //canal:allow unitsafe Nanos is a named unit constructor
+}
+
+// Micros names an integer count of microseconds as a duration.
+func Micros[N Integer](n N) time.Duration {
+	return time.Duration(n) * time.Microsecond
+}
+
+// Millis names an integer count of milliseconds as a duration.
+func Millis[N Integer](n N) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// Seconds converts a float count of seconds into a duration, truncating
+// exactly like the time.Duration(f * float64(time.Second)) expression it
+// replaces, so adopting it cannot move a single rendered digit.
+func Seconds(f float64) time.Duration {
+	return time.Duration(f * float64(time.Second)) //canal:allow unitsafe Seconds is a named unit constructor
+}
+
+// Scale multiplies a duration by a dimensionless factor, truncating exactly
+// like the time.Duration(float64(d) * f) expression it replaces.
+func Scale(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f) //canal:allow unitsafe Scale is the blessed dimensionless-factor scaling helper
+}
+
+// Div divides a duration by a dimensionless factor, truncating exactly like
+// the time.Duration(float64(d) / f) expression it replaces. It is not
+// Scale(d, 1/f): the two differ in the last float bit, which matters to a
+// simulator whose outputs are compared byte-for-byte across runs.
+func Div(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) / f) //canal:allow unitsafe Div is the blessed dimensionless-factor scaling helper
+}

@@ -7,6 +7,8 @@ package telemetry
 
 import (
 	"fmt"
+
+	"canalmesh/internal/sim"
 	"math"
 	"sort"
 	"sync"
@@ -135,7 +137,7 @@ func (s *Sample) Percentile(p float64) float64 {
 
 // PercentileDuration returns the p-th percentile as a duration.
 func (s *Sample) PercentileDuration(p float64) time.Duration {
-	return time.Duration(s.Percentile(p) * float64(time.Second))
+	return sim.Seconds(s.Percentile(p))
 }
 
 // Max returns the maximum observation, or 0 with no observations.

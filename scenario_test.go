@@ -160,9 +160,9 @@ func TestScenarioDeprecatedDriveWrappers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1 := svc.DriveConstant("az1", 100, 5*time.Second)
-	s2 := svc.DriveSpike("az1", 10, 100, time.Second, 2*time.Second, 5*time.Second)
-	s3 := svc.DriveRate("az1", func(time.Duration) float64 { return 50 }, 5*time.Second)
+	s1 := svc.DriveConstant("az1", 100, 5*time.Second)                                   //canal:allow deprecated this test IS the wrapper compatibility check
+	s2 := svc.DriveSpike("az1", 10, 100, time.Second, 2*time.Second, 5*time.Second)      //canal:allow deprecated this test IS the wrapper compatibility check
+	s3 := svc.DriveRate("az1", func(time.Duration) float64 { return 50 }, 5*time.Second) //canal:allow deprecated this test IS the wrapper compatibility check
 	sc.RunFor(7 * time.Second)
 	for i, st := range []*TrafficStats{s1, s2, s3} {
 		if st.Count(200) == 0 {
@@ -170,16 +170,16 @@ func TestScenarioDeprecatedDriveWrappers(t *testing.T) {
 		}
 	}
 	// The deprecated per-metric accessors must agree with Stats().
-	if sc.ScalingOps() != sc.Stats().ScalingOps {
+	if sc.ScalingOps() != sc.Stats().ScalingOps { //canal:allow deprecated this test IS the accessor compatibility check
 		t.Error("ScalingOps disagrees with Stats()")
 	}
-	if sc.AdmissionSheds() != sc.Stats().AdmissionSheds {
+	if sc.AdmissionSheds() != sc.Stats().AdmissionSheds { //canal:allow deprecated this test IS the accessor compatibility check
 		t.Error("AdmissionSheds disagrees with Stats()")
 	}
-	if sc.AdmissionFairness() != sc.Stats().AdmissionFairness {
+	if sc.AdmissionFairness() != sc.Stats().AdmissionFairness { //canal:allow deprecated this test IS the accessor compatibility check
 		t.Error("AdmissionFairness disagrees with Stats()")
 	}
-	if len(sc.Interventions()) != len(sc.Stats().Interventions) {
+	if len(sc.Interventions()) != len(sc.Stats().Interventions) { //canal:allow deprecated this test IS the accessor compatibility check
 		t.Error("Interventions disagrees with Stats()")
 	}
 }

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repo-wide verification: build, formatting, vet, the canalvet invariant
 # linters (sim determinism, map-order hygiene, atomic/lock discipline, error
-# hygiene — see internal/lint), and the full test suite under the race
-# detector. This is the gate every PR must pass, and CI runs exactly the
+# hygiene, plus the type-aware unit-safety, context-flow, deprecation and
+# channel-leak analyzers — see internal/lint), and the full test suite under
+# the race detector. This is the gate every PR must pass, and CI runs exactly the
 # same steps (.github/workflows/ci.yml).
 set -eu
 cd "$(dirname "$0")"
@@ -17,7 +18,7 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
-go run ./cmd/canalvet ./...
+go run ./cmd/canalvet -stale-as-error ./...
 go test -race ./...
 
 # Smoke the tracing pipeline end to end: the per-hop breakdown tables must
