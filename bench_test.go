@@ -79,6 +79,10 @@ func BenchmarkFig15SouthboundBandwidth(b *testing.B) {
 	run(b, func() bench.Result { return bench.Fig15SouthboundBandwidth() })
 }
 
+func BenchmarkConfigChurn(b *testing.B) {
+	run(b, func() bench.Result { return bench.ConfigChurn(context.Background()) })
+}
+
 func BenchmarkFig16NoisyNeighbor(b *testing.B) {
 	run(b, func() bench.Result { return bench.Fig16NoisyNeighbor() })
 }

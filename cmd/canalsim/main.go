@@ -7,13 +7,16 @@
 //	canalsim scatter          # in-phase service scattering (§6.3)
 //	canalsim flash-crowd      # admission control off vs on under a 5x crowd
 //	canalsim trace            # per-hop latency breakdown from distributed traces
+//	canalsim config-churn     # delta vs full config push under region-scale churn
 //
-// The trace scenario takes flags:
+// The trace and config-churn scenarios take flags:
 //
 //	canalsim trace -arch canal -arch istio -requests 200 -seed 42 -json out.json
+//	canalsim config-churn -nodes 1000 -services 60 -pods 25 -window 90s -debounce 2s -seed 42 -json BENCH_configpush.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd|trace>")
+		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd|trace|config-churn>")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -50,9 +53,47 @@ func main() {
 		scatter()
 	case "trace":
 		traceCmd(os.Args[2:])
+	case "config-churn":
+		configChurnCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "canalsim: unknown scenario %q\n", os.Args[1])
 		os.Exit(2)
+	}
+}
+
+// configChurnCmd runs the region-scale config-churn scenario — a rolling
+// deploy plus background pod churn pushed through the configpush
+// distributor under all three architectures, delta and full-push —
+// printing the comparison table and optionally exporting the JSON report
+// (the BENCH_configpush.json artifact).
+func configChurnCmd(args []string) {
+	fs := flag.NewFlagSet("config-churn", flag.ExitOnError)
+	spec := bench.DefaultConfigChurnSpec()
+	fs.IntVar(&spec.Nodes, "nodes", spec.Nodes, "worker nodes in the simulated region")
+	fs.IntVar(&spec.Services, "services", spec.Services, "tenant services")
+	fs.IntVar(&spec.PodsPerService, "pods", spec.PodsPerService, "replicas per service")
+	fs.IntVar(&spec.RollingServices, "rolling", spec.RollingServices, "services undergoing a rolling deploy")
+	fs.DurationVar(&spec.ChurnWindow, "window", spec.ChurnWindow, "churn window (sim time)")
+	fs.DurationVar(&spec.Debounce, "debounce", spec.Debounce, "control-plane coalescing window")
+	fs.Int64Var(&spec.Seed, "seed", spec.Seed, "simulation seed")
+	jsonPath := fs.String("json", "", "write the JSON report to this file")
+	fs.Parse(args)
+	if spec.RollingServices > spec.Services {
+		spec.RollingServices = spec.Services
+	}
+	table, rep := bench.ConfigChurnResult(context.Background(), spec)
+	fmt.Print(table.String())
+	if *jsonPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 	}
 }
 

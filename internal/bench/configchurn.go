@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"canalmesh/internal/cloud"
+	"canalmesh/internal/cluster"
+	"canalmesh/internal/configpush"
+	"canalmesh/internal/controlplane"
+	"canalmesh/internal/sim"
+)
+
+// This file is the region-scale config-churn experiment: a rolling deploy
+// plus background pod churn across 1000+ nodes, driven through the
+// configpush distributor under each architecture model twice — once with
+// full-set pushes (the §2.1 baseline) and once with deltas — measuring
+// southbound bytes, convergence time (API event → last covering ack), and
+// the stale-config window distribution. It converts the paper's
+// O(N²)-vs-O(N) southbound argument into measured curves and seeds the
+// BENCH_configpush.json perf trajectory.
+
+// ConfigChurnSpec parameterizes the churn scenario.
+type ConfigChurnSpec struct {
+	Nodes           int           // worker nodes in the region
+	Services        int           // tenant services
+	PodsPerService  int           // replicas per service
+	RollingServices int           // services undergoing a rolling deploy
+	ChurnWindow     time.Duration // measured churn duration (sim time)
+	Debounce        time.Duration // distributor coalescing window
+	Seed            int64
+}
+
+// DefaultConfigChurnSpec is the region-scale default: 1000 nodes, 1500
+// pods, a 12-service rolling deploy plus background churn over 90s.
+func DefaultConfigChurnSpec() ConfigChurnSpec {
+	return ConfigChurnSpec{
+		Nodes:           1000,
+		Services:        60,
+		PodsPerService:  25,
+		RollingServices: 12,
+		ChurnWindow:     90 * time.Second,
+		Debounce:        2 * time.Second,
+		Seed:            42,
+	}
+}
+
+// ConfigChurnRow is one (architecture, mode) outcome.
+type ConfigChurnRow struct {
+	Arch string `json:"arch"`
+	Mode string `json:"mode"` // "delta" or "full"
+
+	Events int `json:"events"`
+	Builds int `json:"builds"`
+	Sends  int `json:"sends"`
+	Acks   int `json:"acks"`
+
+	Sessions       int `json:"sessions"`
+	ClosedSessions int `json:"closed_sessions"`
+	Resyncs        int `json:"resyncs"`
+
+	TotalBytes  int64 `json:"total_bytes"`
+	DeltaBytes  int64 `json:"delta_bytes"`
+	ResyncBytes int64 `json:"resync_bytes"`
+
+	ConvergeP50MS float64 `json:"converge_p50_ms"`
+	ConvergeP99MS float64 `json:"converge_p99_ms"`
+	StaleP50MS    float64 `json:"stale_p50_ms"`
+	StaleP99MS    float64 `json:"stale_p99_ms"`
+	Unconverged   int     `json:"unconverged"`
+}
+
+// ConfigChurnReport is the machine-readable result behind
+// BENCH_configpush.json: the scenario shape, every row, and the headline
+// full-vs-delta byte ratios per architecture.
+type ConfigChurnReport struct {
+	Nodes          int     `json:"nodes"`
+	Pods           int     `json:"pods"`
+	Services       int     `json:"services"`
+	ChurnWindowSec float64 `json:"churn_window_sec"`
+	DebounceMS     float64 `json:"debounce_ms"`
+	Seed           int64   `json:"seed"`
+
+	Rows []ConfigChurnRow `json:"rows"`
+	// FullOverDelta maps architecture → full-push bytes / delta-push bytes.
+	FullOverDelta map[string]float64 `json:"full_over_delta"`
+}
+
+// JSON renders the report deterministically.
+func (r *ConfigChurnReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// buildChurnCluster provisions the region: nodes, services, pods spread
+// round-robin.
+func buildChurnCluster(spec ConfigChurnSpec) (*cluster.Cluster, error) {
+	tn, err := cloud.NewTenant("churn-t1", "churn", "10.0.0.0/8", 100)
+	if err != nil {
+		return nil, err
+	}
+	c := cluster.New("region", tn)
+	for i := 0; i < spec.Nodes; i++ {
+		c.AddNode(fmt.Sprintf("n%04d", i), "r1", "az1", cluster.Resources{MilliCPU: 1 << 30, MemMB: 1 << 30})
+	}
+	app := cluster.Resources{MilliCPU: 100, MemMB: 100}
+	for i := 0; i < spec.Services; i++ {
+		name := fmt.Sprintf("svc%03d", i)
+		c.AddService(name, 80, 3)
+		if _, err := c.SpreadPods(name, spec.PodsPerService, app); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// scheduleChurn scripts the measured window: a staggered rolling deploy of
+// the first RollingServices services (each pod replaced once), a rotating
+// background kill-and-replace over the remaining services, and periodic
+// route updates. Fully deterministic — the schedule is a pure function of
+// the spec.
+func scheduleChurn(s *sim.Sim, c *cluster.Cluster, spec ConfigChurnSpec, t *testingSink) {
+	app := cluster.Resources{MilliCPU: 100, MemMB: 100}
+	replace := func(svc string) {
+		pods := c.PodsOf(svc)
+		if len(pods) == 0 {
+			return
+		}
+		if err := c.RemovePod(pods[0].Name); err != nil {
+			t.errf("remove: %v", err)
+			return
+		}
+		node := c.Nodes()[int(s.Now()/time.Millisecond)%len(c.Nodes())]
+		if _, err := c.AddPod(svc, node, app); err != nil {
+			t.errf("add: %v", err)
+		}
+	}
+
+	// Rolling deploy: each rolling service replaces one pod per step,
+	// steps spread across the window, services staggered within a step.
+	step := spec.ChurnWindow / time.Duration(spec.PodsPerService+1)
+	stagger := step / time.Duration(spec.RollingServices+1)
+	for i := 0; i < spec.PodsPerService; i++ {
+		for j := 0; j < spec.RollingServices; j++ {
+			svc := fmt.Sprintf("svc%03d", j)
+			at := time.Duration(i)*step + time.Duration(j)*stagger
+			s.At(at, func() { replace(svc) })
+		}
+	}
+	// Background churn: every 1.5s one pod of a rotating non-rolling
+	// service dies and is rescheduled.
+	if spec.RollingServices < spec.Services {
+		tick := 1500 * time.Millisecond
+		n := int(spec.ChurnWindow / tick)
+		for i := 0; i < n; i++ {
+			svc := fmt.Sprintf("svc%03d", spec.RollingServices+i%(spec.Services-spec.RollingServices))
+			s.At(time.Duration(i)*tick, func() { replace(svc) })
+		}
+	}
+	// Routing-policy updates: every 9s a rotating service's rules change.
+	for i, at := 0, time.Duration(0); at < spec.ChurnWindow; i, at = i+1, at+9*time.Second {
+		svc := fmt.Sprintf("svc%03d", i%spec.Services)
+		rules := 3 + i%4
+		s.At(at, func() {
+			if err := c.UpdateRoutes(svc, rules); err != nil {
+				t.errf("routes: %v", err)
+			}
+		})
+	}
+}
+
+// testingSink collects scripted-churn errors raised inside sim closures so
+// the experiment can surface them in its Notes instead of panicking.
+type testingSink struct{ errs []string }
+
+func (t *testingSink) errf(format string, args ...any) {
+	t.errs = append(t.errs, fmt.Sprintf(format, args...))
+}
+
+// runConfigChurn executes one (model, mode) cell and returns its row.
+func runConfigChurn(spec ConfigChurnSpec, model controlplane.Model, fullPush bool) (ConfigChurnRow, error) {
+	s := sim.New(spec.Seed)
+	c, err := buildChurnCluster(spec)
+	if err != nil {
+		return ConfigChurnRow{}, err
+	}
+	d := configpush.New(configpush.Config{
+		Sim:      s,
+		Cluster:  c,
+		Sizing:   controlplane.DefaultSizing(),
+		Model:    model,
+		Debounce: spec.Debounce,
+		FullPush: fullPush,
+	})
+	d.SubscribeModel()
+	d.SyncAll()
+	sink := &testingSink{}
+	scheduleChurn(s, c, spec, sink)
+	s.Run() // churn window plus full drain: every queued send completes
+	if len(sink.errs) > 0 {
+		return ConfigChurnRow{}, fmt.Errorf("churn script: %s", sink.errs[0])
+	}
+
+	st := d.Stats()
+	row := ConfigChurnRow{
+		Arch:           st.Model,
+		Mode:           st.Mode,
+		Events:         st.Events,
+		Builds:         st.Builds,
+		Sends:          st.Sends,
+		Acks:           st.Acks,
+		Sessions:       st.Sessions,
+		ClosedSessions: st.ClosedSessions,
+		Resyncs:        st.Resyncs,
+		TotalBytes:     st.TotalBytes,
+		DeltaBytes:     st.DeltaBytes,
+		ResyncBytes:    st.ResyncBytes,
+		ConvergeP50MS:  ms(configpush.Percentile(st.Convergence, 0.5)),
+		ConvergeP99MS:  ms(configpush.Percentile(st.Convergence, 0.99)),
+		StaleP50MS:     ms(configpush.Percentile(st.Stale, 0.5)),
+		StaleP99MS:     ms(configpush.Percentile(st.Stale, 0.99)),
+		Unconverged:    st.Unconverged,
+	}
+	return row, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// configChurnCells enumerates the experiment grid in fixed order.
+func configChurnCells() []struct {
+	model controlplane.Model
+	full  bool
+} {
+	return []struct {
+		model controlplane.Model
+		full  bool
+	}{
+		{controlplane.IstioModel, true},
+		{controlplane.IstioModel, false},
+		{controlplane.AmbientModel, true},
+		{controlplane.AmbientModel, false},
+		{controlplane.CanalModel, true},
+		{controlplane.CanalModel, false},
+	}
+}
+
+// ConfigChurnResult runs the full grid (each cell its own seeded
+// simulation, fanned out with ForEachPoint) and returns both the rendered
+// table and the machine-readable report.
+func ConfigChurnResult(ctx context.Context, spec ConfigChurnSpec) (*Table, *ConfigChurnReport) {
+	cells := configChurnCells()
+	rows := make([]ConfigChurnRow, len(cells))
+	errs := make([]error, len(cells))
+	ForEachPoint(ctx, len(cells), func(i int) {
+		rows[i], errs[i] = runConfigChurn(spec, cells[i].model, cells[i].full)
+	})
+
+	t := &Table{
+		ID: "configpush",
+		Title: fmt.Sprintf("Delta vs full config push under churn (%d nodes, %d pods, %ds window)",
+			spec.Nodes, spec.Services*spec.PodsPerService, int(spec.ChurnWindow/time.Second)),
+		Headers: []string{"Architecture", "Mode", "Builds", "Sends", "MB pushed", "Resync MB",
+			"Conv p50 (s)", "Conv p99 (s)", "Stale p99 (s)"},
+	}
+	rep := &ConfigChurnReport{
+		Nodes:          spec.Nodes,
+		Pods:           spec.Services * spec.PodsPerService,
+		Services:       spec.Services,
+		ChurnWindowSec: spec.ChurnWindow.Seconds(),
+		DebounceMS:     float64(spec.Debounce) / float64(time.Millisecond),
+		Seed:           spec.Seed,
+		FullOverDelta:  map[string]float64{},
+	}
+	for i, row := range rows {
+		if err := errs[i]; err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s/%s failed: %v", cells[i].model, rowMode(cells[i].full), err))
+			continue
+		}
+		if ctx.Err() != nil {
+			return t, rep
+		}
+		rep.Rows = append(rep.Rows, row)
+		t.AddRow(row.Arch, row.Mode, row.Builds, row.Sends,
+			mb(row.TotalBytes), mb(row.ResyncBytes),
+			row.ConvergeP50MS/1000, row.ConvergeP99MS/1000, row.StaleP99MS/1000)
+	}
+	// Headline ratios: full-push bytes over delta-push bytes per model.
+	byKey := map[string]ConfigChurnRow{}
+	for _, row := range rep.Rows {
+		byKey[row.Arch+"/"+row.Mode] = row
+	}
+	for _, arch := range []string{"istio", "ambient", "canal"} {
+		full, okF := byKey[arch+"/full"]
+		del, okD := byKey[arch+"/delta"]
+		if !okF || !okD || del.TotalBytes == 0 {
+			continue
+		}
+		ratio := float64(full.TotalBytes) / float64(del.TotalBytes)
+		rep.FullOverDelta[arch] = ratio
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: delta cuts southbound bytes %.1fx (%.0f MB -> %.0f MB) at %d nodes",
+			arch, ratio, mb(full.TotalBytes), mb(del.TotalBytes), spec.Nodes))
+	}
+	return t, rep
+}
+
+func rowMode(full bool) string {
+	if full {
+		return "full"
+	}
+	return "delta"
+}
+
+func mb(b int64) float64 { return float64(b) / (1024 * 1024) }
+
+// ConfigChurn is the bench-experiment entry point (Table only).
+func ConfigChurn(ctx context.Context) *Table {
+	t, _ := ConfigChurnResult(ctx, DefaultConfigChurnSpec())
+	return t
+}

@@ -1,0 +1,123 @@
+package configpush
+
+import (
+	"time"
+
+	"canalmesh/internal/controlplane"
+)
+
+// Payload is one sendable unit placed on the southbound link: either a
+// delta (From > 0) advancing the subscriber From→To, or a full resync of
+// version To (From == 0).
+type Payload struct {
+	From, To uint64
+	Bytes    int64
+	Changed  int // resources carried
+	Removed  int // tombstones carried
+	Resync   bool
+}
+
+// deltaPayload prices the scope's share of a delta. A delta that matches
+// nothing in the scope returns a zero-byte payload (Changed+Removed == 0);
+// the distributor advances such subscribers without a send.
+func deltaPayload(d *Delta, sc Scope, sz controlplane.Sizing) Payload {
+	p := Payload{From: d.From, To: d.To}
+	for _, r := range d.Changed {
+		if sc.Matches(r) {
+			p.Changed++
+			p.Bytes += int64(r.Bytes)
+		}
+	}
+	for _, r := range d.Removed {
+		if sc.Matches(r) {
+			p.Removed++
+			p.Bytes += removedKeyBytes
+		}
+	}
+	if p.Changed+p.Removed > 0 {
+		if sc.Kind == ScopeNodeIdentity {
+			p.Bytes += int64(sz.NodeProxyBytes / 8) // minimal on-node framing
+		} else {
+			p.Bytes += int64(sz.DeltaFramingBytes())
+		}
+	}
+	return p
+}
+
+// fullPayload prices a complete sync of the scope at the snapshot.
+func fullPayload(s *Snapshot, sc Scope, sz controlplane.Sizing) Payload {
+	return Payload{
+		To:     s.Version,
+		Bytes:  int64(sc.baseBytes(sz)) + s.scopeBytes(sc),
+		Resync: true,
+	}
+}
+
+// Session is one subscriber's watch: a simulated sidecar, node proxy,
+// waypoint, or mesh gateway holding configuration at some acked version.
+// All state transitions are driven by the distributor inside the
+// discrete-event simulation, so a session is a deterministic sim actor.
+type Session struct {
+	ID    string
+	Scope Scope
+
+	acked     uint64 // last version acknowledged (0 = needs bootstrap)
+	connected bool
+	closed    bool
+	inflight  bool // a payload is on the link for this session
+	behind    bool // head moved while a payload was in flight
+	attempts  int  // consecutive nacks on the current payload
+	epoch     int  // bumped on disconnect so stale deliveries are dropped
+
+	// failNext makes the session nack its next n deliveries — the test and
+	// chaos hook for the retry/backoff path.
+	failNext int
+
+	// owes tracks the published versions this subscriber has been targeted
+	// with but not yet acked, oldest first, for convergence accounting.
+	owes []*versionRecord
+
+	// Per-session counters and lag metrics.
+	Acks, Nacks, Resyncs, Deltas int
+	BytesReceived                int64
+	lastAckAt                    time.Duration
+	staleSamples                 []time.Duration
+}
+
+// Acked returns the session's last acknowledged version.
+func (s *Session) Acked() uint64 { return s.acked }
+
+// Connected reports whether the session is currently attached.
+func (s *Session) Connected() bool { return s.connected && !s.closed }
+
+// Lag returns how many versions behind the given head this session is.
+func (s *Session) Lag(head uint64) uint64 {
+	if s.acked >= head {
+		return 0
+	}
+	return head - s.acked
+}
+
+// FailNext makes the session nack its next n deliveries (then ack again).
+func (s *Session) FailNext(n int) { s.failNext = n }
+
+// LastAckAt returns the virtual time of the session's most recent ack.
+func (s *Session) LastAckAt() time.Duration { return s.lastAckAt }
+
+// StaleWindows returns the recorded stale-config windows: for each ack, how
+// long the subscriber had been running configuration that was missing an
+// already-published change.
+func (s *Session) StaleWindows() []time.Duration {
+	return append([]time.Duration(nil), s.staleSamples...)
+}
+
+// versionRecord tracks one published version's convergence: how many
+// targeted subscribers still owe an ack covering it.
+type versionRecord struct {
+	version    uint64
+	eventAt    time.Duration // earliest API event coalesced into this build
+	publishAt  time.Duration
+	pending    int
+	converged  bool
+	convergeAt time.Duration
+}

@@ -1,0 +1,223 @@
+package configpush
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"canalmesh/internal/cluster"
+	"canalmesh/internal/controlplane"
+)
+
+// Snapshot is one immutable, monotonically versioned view of the mesh
+// configuration: every resource the control plane would serve at that
+// version, keyed and key-sorted so iteration is deterministic.
+type Snapshot struct {
+	Version uint64
+	// At is the virtual time the snapshot was built (published).
+	At time.Duration
+
+	resources map[string]Resource
+	keys      []string // sorted
+}
+
+// newSnapshot indexes the resource list by key.
+func newSnapshot(version uint64, at time.Duration, resources []Resource) *Snapshot {
+	s := &Snapshot{
+		Version:   version,
+		At:        at,
+		resources: make(map[string]Resource, len(resources)),
+		keys:      make([]string, 0, len(resources)),
+	}
+	for _, r := range resources {
+		k := r.Key()
+		if _, dup := s.resources[k]; !dup {
+			s.keys = append(s.keys, k)
+		}
+		s.resources[k] = r
+	}
+	sort.Strings(s.keys)
+	return s
+}
+
+// Len returns the number of resources in the snapshot.
+func (s *Snapshot) Len() int { return len(s.keys) }
+
+// Resource returns the resource stored under key.
+func (s *Snapshot) Resource(key string) (Resource, bool) {
+	r, ok := s.resources[key]
+	return r, ok
+}
+
+// scopeBytes sums the serialized size of the scope's matching resources —
+// the payload of a full sync at this snapshot.
+func (s *Snapshot) scopeBytes(sc Scope) int64 {
+	var n int64
+	for _, k := range s.keys {
+		if r := s.resources[k]; sc.Matches(r) {
+			n += int64(r.Bytes)
+		}
+	}
+	return n
+}
+
+// Delta is the structural diff between two snapshot versions: the minimal
+// resource set a subscriber at From needs to reach To. Changed carries
+// added and updated resources in key order; Removed carries the deleted
+// resources as last seen in the base snapshot, so scope matching (which
+// needs the hosting node or service) works on removals too.
+type Delta struct {
+	From, To uint64
+	Changed  []Resource
+	Removed  []Resource
+}
+
+// Diff computes from→to. A nil from means "empty snapshot": everything in
+// to is an addition (the shape of a full bootstrap). Both snapshots keep
+// sorted key lists, so the diff is a deterministic merge walk.
+func Diff(from, to *Snapshot) *Delta {
+	d := &Delta{To: to.Version}
+	if from != nil {
+		d.From = from.Version
+	}
+	var fkeys []string
+	if from != nil {
+		fkeys = from.keys
+	}
+	i, j := 0, 0
+	for i < len(fkeys) || j < len(to.keys) {
+		switch {
+		case j >= len(to.keys) || (i < len(fkeys) && fkeys[i] < to.keys[j]):
+			d.Removed = append(d.Removed, from.resources[fkeys[i]])
+			i++
+		case i >= len(fkeys) || to.keys[j] < fkeys[i]:
+			d.Changed = append(d.Changed, to.resources[to.keys[j]])
+			j++
+		default: // same key: changed only if the content hash moved
+			if from.resources[fkeys[i]].Hash != to.resources[to.keys[j]].Hash {
+				d.Changed = append(d.Changed, to.resources[to.keys[j]])
+			}
+			i++
+			j++
+		}
+	}
+	return d
+}
+
+// Empty reports whether the delta carries no changes at all.
+func (d *Delta) Empty() bool { return len(d.Changed) == 0 && len(d.Removed) == 0 }
+
+// Store retains the most recent snapshots so deltas can be served from any
+// still-retained version. Subscribers acked before the retention window
+// must full-resync — exactly the fallback real delta protocols take when a
+// reconnecting client's version is too stale to diff against.
+type Store struct {
+	retain int
+	snaps  []*Snapshot // ascending versions, len <= retain
+
+	// diffCache memoizes head-reaching diffs: key "from→to". Bounded by
+	// eviction below.
+	diffCache map[string]*Delta
+}
+
+// NewStore returns a store retaining the given number of versions
+// (minimum 2: head plus one diff base).
+func NewStore(retain int) *Store {
+	if retain < 2 {
+		retain = 2
+	}
+	return &Store{retain: retain, diffCache: make(map[string]*Delta)}
+}
+
+// Append publishes a snapshot as the new head. Versions must be
+// monotonically increasing; older snapshots beyond the retention window are
+// evicted and the diff cache reset (cached diffs reference evicted bases).
+func (st *Store) Append(s *Snapshot) {
+	if h := st.Head(); h != nil && s.Version <= h.Version {
+		panic(fmt.Sprintf("configpush: snapshot version %d not after head %d", s.Version, h.Version))
+	}
+	st.snaps = append(st.snaps, s)
+	if len(st.snaps) > st.retain {
+		st.snaps = st.snaps[len(st.snaps)-st.retain:]
+		st.diffCache = make(map[string]*Delta)
+	}
+}
+
+// Head returns the newest snapshot, or nil.
+func (st *Store) Head() *Snapshot {
+	if len(st.snaps) == 0 {
+		return nil
+	}
+	return st.snaps[len(st.snaps)-1]
+}
+
+// Get returns the snapshot at version, or nil if it was never published or
+// has been evicted.
+func (st *Store) Get(version uint64) *Snapshot {
+	for _, s := range st.snaps {
+		if s.Version == version {
+			return s
+		}
+	}
+	return nil
+}
+
+// DiffToHead returns the delta from the given version to head, memoized so
+// every subscriber at the same version shares one build. It returns nil
+// when the base version is no longer retained (caller must full-resync).
+func (st *Store) DiffToHead(from uint64) *Delta {
+	head := st.Head()
+	if head == nil {
+		return nil
+	}
+	base := st.Get(from)
+	if base == nil {
+		return nil
+	}
+	key := fmt.Sprintf("%d-%d", from, head.Version)
+	if d, ok := st.diffCache[key]; ok {
+		return d
+	}
+	d := Diff(base, head)
+	st.diffCache[key] = d
+	return d
+}
+
+// buildResources materializes the configuration resource set from the
+// cluster's current state. Pods and services come back name-sorted from the
+// cluster, so the resource list — and every snapshot built from it — is
+// deterministic. routeRev distinguishes successive rule updates that keep
+// the same rule count (the hash must move on every UpdateRoutes).
+func buildResources(c *cluster.Cluster, sz controlplane.Sizing, routeRev map[string]int) []Resource {
+	pods := c.Pods()
+	services := c.Services()
+	out := make([]Resource, 0, 2*len(pods)+len(services))
+	for _, p := range pods {
+		out = append(out, Resource{
+			Kind:    KindEndpoint,
+			Name:    p.Name,
+			Node:    p.Node.Name,
+			Service: p.Service,
+			Bytes:   sz.PerEndpointBytes,
+			Hash:    hashOf("ep", p.Name, p.IP.String(), p.Service, p.Node.Name),
+		})
+		out = append(out, Resource{
+			Kind:    KindIdentity,
+			Name:    p.Name,
+			Node:    p.Node.Name,
+			Service: p.Service,
+			Bytes:   sz.PerPodIdentityBytes,
+			Hash:    hashOf("id", p.Name, p.IP.String()),
+		})
+	}
+	for _, svc := range services {
+		out = append(out, Resource{
+			Kind:    KindRuleSet,
+			Name:    svc.Name,
+			Service: svc.Name,
+			Bytes:   svc.L7Rules * sz.PerRuleBytes,
+			Hash:    hashOf("rules", svc.Name, fmt.Sprint(svc.L7Rules), fmt.Sprint(routeRev[svc.Name])),
+		})
+	}
+	return out
+}

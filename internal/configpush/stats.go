@@ -1,0 +1,112 @@
+package configpush
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Stats is one distributor run's measured outcome: southbound bytes split
+// by payload kind, convergence times (earliest coalesced event → last
+// covering ack, per published version), and the distribution of
+// stale-config windows across all subscriber acks.
+type Stats struct {
+	Model string
+	Mode  string // "delta" or "full"
+
+	Events int // raw API events observed
+	Builds int // coalesced snapshot builds
+	Sends  int // payloads placed on the southbound link
+
+	Sessions       int // open sessions at collection time
+	ClosedSessions int // sessions closed by pod churn
+
+	Acks    int
+	Nacks   int
+	Deltas  int // delta payloads acked
+	Resyncs int // full-sync payloads acked (bootstraps, evictions, baseline)
+
+	DeltaBytes  int64
+	ResyncBytes int64
+	TotalBytes  int64
+
+	Converged   int // published versions every targeted subscriber acked
+	Unconverged int // versions still owed (partitions, collection mid-run)
+
+	// Convergence holds one sample per converged version, in publish order.
+	Convergence []time.Duration
+	// Stale holds every subscriber ack's stale-config window.
+	Stale []time.Duration
+}
+
+// Stats aggregates the distributor's current counters and distributions.
+func (d *Distributor) Stats() Stats {
+	st := Stats{
+		Model:  d.cfg.Model.String(),
+		Mode:   "delta",
+		Events: d.events,
+		Builds: len(d.order),
+		Sends:  d.sends,
+
+		DeltaBytes:  d.deltaBytes,
+		ResyncBytes: d.resyncBytes,
+		TotalBytes:  d.deltaBytes + d.resyncBytes,
+	}
+	if d.cfg.FullPush {
+		st.Mode = "full"
+	}
+	for _, s := range d.sessions {
+		if s.closed {
+			continue
+		}
+		st.Sessions++
+		st.Acks += s.Acks
+		st.Nacks += s.Nacks
+		st.Deltas += s.Deltas
+		st.Resyncs += s.Resyncs
+		st.Stale = append(st.Stale, s.staleSamples...)
+	}
+	st.ClosedSessions = d.closedN + d.retired.sessions
+	for _, s := range d.sessions {
+		if s.closed {
+			st.Acks += s.Acks
+			st.Nacks += s.Nacks
+			st.Deltas += s.Deltas
+			st.Resyncs += s.Resyncs
+			st.Stale = append(st.Stale, s.staleSamples...)
+		}
+	}
+	st.Acks += d.retired.acks
+	st.Nacks += d.retired.nacks
+	st.Deltas += d.retired.deltas
+	st.Resyncs += d.retired.resyncs
+	st.Stale = append(st.Stale, d.retired.stale...)
+	for _, v := range d.order {
+		vr := d.records[v]
+		if vr.converged {
+			st.Converged++
+			st.Convergence = append(st.Convergence, vr.convergeAt-vr.eventAt)
+		} else {
+			st.Unconverged++
+		}
+	}
+	return st
+}
+
+// Percentile returns the q-th percentile (0 < q <= 1) of the samples by
+// nearest rank over a sorted copy; zero if there are no samples.
+func Percentile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}

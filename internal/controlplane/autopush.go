@@ -66,7 +66,10 @@ func (ap *AutoPush) schedule() {
 	ap.sim.At(ap.flushAt, wait)
 }
 
-// flush performs the coalesced push.
+// flush performs the coalesced push. A window can contain both pod
+// additions and route updates; both must be pushed — the endpoint push does
+// not carry the changed routing rules, so dropping pendingRoutes would
+// leave every routing-bearing proxy stale until the next unrelated update.
 func (ap *AutoPush) flush() {
 	pods, routes := ap.pendingPods, ap.pendingRoutes
 	ap.pendingPods, ap.pendingRoutes = 0, false
@@ -76,9 +79,10 @@ func (ap *AutoPush) flush() {
 	ap.pushCount++
 	if pods > 0 {
 		ap.ctl.PushPodCreation(pods)
-		return
 	}
-	ap.ctl.PushUpdate()
+	if routes {
+		ap.ctl.PushUpdate()
+	}
 }
 
 // Pushes returns how many coalesced pushes ran.

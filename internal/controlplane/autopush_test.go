@@ -114,6 +114,41 @@ func TestAutoPushDebounceExtendsOnActivity(t *testing.T) {
 	}
 }
 
+// TestAutoPushMixedWindowPushesPodsAndRoutes is the regression test for the
+// coalescing bug where a debounce window containing both pod additions and
+// a route update ran only PushPodCreation and silently discarded the route
+// update: one flush must produce both pushes.
+func TestAutoPushMixedWindowPushesPodsAndRoutes(t *testing.T) {
+	s, c, ctl, ap := autoPushRig(t, time.Second)
+	node := c.Nodes()[0]
+	before := len(ctl.History())
+	s.At(0, func() {
+		if _, err := c.AddPod("svcaa", node, cluster.Resources{MilliCPU: 1, MemMB: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.UpdateRoutes("svcba", 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s.Run()
+	if ap.Pushes() != 1 {
+		t.Errorf("pushes = %d, want 1 coalesced flush", ap.Pushes())
+	}
+	hist := ctl.History()[before:]
+	if len(hist) != 2 {
+		t.Fatalf("history grew by %d pushes, want 2 (pod creation AND route update)", len(hist))
+	}
+	// The pod push carries the startup time; the route push must still be
+	// there with non-zero bytes.
+	if hist[0].Bytes == 0 || hist[1].Bytes == 0 {
+		t.Errorf("both pushes must carry bytes: %+v", hist)
+	}
+	if hist[0].Completion <= hist[1].Completion {
+		t.Errorf("pod-creation push should include pod startup time: pod=%v route=%v",
+			hist[0].Completion, hist[1].Completion)
+	}
+}
+
 // TestAutoPushTable2Rates drives Table 2's update frequencies through the
 // debouncer and confirms the controller absorbs them.
 func TestAutoPushTable2Rates(t *testing.T) {

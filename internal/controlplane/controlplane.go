@@ -65,6 +65,13 @@ type Sizing struct {
 	PodStartupTime time.Duration
 }
 
+// DeltaFramingBytes is the fixed framing/versioning cost of one delta
+// (incremental) push: the envelope naming the version pair and resource
+// types, an eighth of the full per-proxy config framing. PushIncremental
+// and the configpush distributor both price deltas with it, so the two
+// incremental models stay comparable.
+func (s Sizing) DeltaFramingBytes() int { return s.BaseConfigBytes / 8 }
+
 // DefaultSizing returns constants calibrated so the paper's ratios hold:
 // Canal's bandwidth ~10x below Istio and ~4-5x below Ambient at testbed
 // scale, completion times ordered Canal < Ambient < Istio.
@@ -231,7 +238,7 @@ func (ctl *Controller) PushPodCreation(n int) PushStats {
 // only the per-target payload shrinks, so Istio drops from O(N^2) to O(N)
 // southbound bytes per update.
 func (ctl *Controller) PushIncremental(changedEndpoints, changedRules int) PushStats {
-	delta := int64(ctl.Sizing.BaseConfigBytes/8 + // framing/versioning
+	delta := int64(ctl.Sizing.DeltaFramingBytes() +
 		changedEndpoints*ctl.Sizing.PerEndpointBytes +
 		changedRules*ctl.Sizing.PerRuleBytes)
 	targets := ctl.Targets()

@@ -26,6 +26,7 @@ var simScopeDirs = []string{
 	"internal/admission",
 	"internal/keyserver",
 	"internal/trace",
+	"internal/configpush",
 }
 
 // inSimScope reports whether the package directory is simulation-facing.

@@ -26,6 +26,13 @@ go test -race ./...
 go run ./cmd/canalsim trace -arch canal -arch istio -requests 50 -json /tmp/canal-trace-breakdown.json >/dev/null
 test -s /tmp/canal-trace-breakdown.json
 
+# Smoke the config-churn scenario end to end at a reduced scale: the
+# delta-vs-full comparison table must render and the JSON report must
+# export with all six (architecture, mode) rows.
+go run ./cmd/canalsim config-churn -nodes 60 -services 10 -pods 6 -rolling 3 -window 30s \
+    -json /tmp/canal-configpush.json >/dev/null
+test -s /tmp/canal-configpush.json
+
 # Parallel-vs-serial equivalence smoke: the benchmark runner must emit
 # byte-identical stdout regardless of the parallelism level (timing and
 # diagnostics go to stderr), and the timing report must export. A fast
