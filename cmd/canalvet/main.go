@@ -14,6 +14,7 @@
 //	canalvet -fix ./...       # apply suggested fixes (gofmt-clean, refuses overlaps)
 //	canalvet -json - ./...    # machine-readable diagnostics on stdout
 //	canalvet -json out.json -stale-as-error ./...
+//	canalvet -callgraph '(*Engine).Route'   # dump one function's call-graph node
 //
 // Intentional violations are suppressed inline with a justified directive:
 //
@@ -51,6 +52,7 @@ func main() {
 	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
 	jsonOut := flag.String("json", "", "write diagnostics as JSON to this file (\"-\" for stdout)")
 	staleAsError := flag.Bool("stale-as-error", false, "count stale //canal:allow directives toward the exit code")
+	callgraph := flag.String("callgraph", "", "dump the call-graph node for a function (exact key or unique suffix) and exit")
 	flag.Parse()
 
 	if *list {
@@ -77,6 +79,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "canalvet:", err)
 		os.Exit(2)
+	}
+	if *callgraph != "" {
+		os.Exit(dumpCallGraph(pkgs, *callgraph))
 	}
 	diags := lint.Run(pkgs, lint.Analyzers())
 
@@ -125,6 +130,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "canalvet: %d problem(s)\n", errors)
 		os.Exit(1)
 	}
+}
+
+// dumpCallGraph type-checks the module, builds the interprocedural call
+// graph, and prints one node: its edges, behavior facts, lock sites, and
+// the full set of functions reachable from it. The output order is
+// deterministic (the graph guarantees sorted traversal), so dumps diff
+// cleanly between revisions.
+func dumpCallGraph(pkgs []*lint.Package, name string) int {
+	lint.TypeCheck(pkgs)
+	g := lint.BuildCallGraph(pkgs)
+	n := g.Lookup(name)
+	if n == nil {
+		fmt.Fprintf(os.Stderr, "canalvet: no unique call-graph node matches %q (try the full key, e.g. canalmesh/internal/l7.(*Engine).Route)\n", name)
+		return 2
+	}
+	fmt.Printf("%s\n", n.Key)
+	fmt.Printf("  at   %s\n", n.Position)
+	if n.Hot {
+		fmt.Printf("  hot  //canal:hotpath\n")
+	}
+	if n.Test {
+		fmt.Printf("  test declared in a _test.go file\n")
+	}
+	for _, f := range n.Facts {
+		fmt.Printf("  fact %-10s %s (%s:%d)\n", f.Kind, f.What, f.Position.Filename, f.Position.Line)
+	}
+	for _, ls := range n.Locks {
+		mode := "lock"
+		if ls.Read {
+			mode = "rlock"
+		}
+		fmt.Printf("  %-4s %s class=%s held to offset %d\n", mode, ls.Expr, ls.Class, ls.EndOff)
+	}
+	for _, e := range n.Calls {
+		kind := "call"
+		switch {
+		case e.Iface && e.Ref:
+			kind = "iref"
+		case e.Iface:
+			kind = "icall"
+		case e.Ref:
+			kind = "ref"
+		}
+		fmt.Printf("  %-5s %s (%s:%d)\n", kind, e.Callee, e.Position.Filename, e.Position.Line)
+	}
+	reach := g.Reachable(n.Key)
+	fmt.Printf("  reachable: %d function(s)\n", len(reach))
+	for _, k := range reach {
+		fmt.Printf("    %s\n", k)
+	}
+	return 0
 }
 
 // writeJSON renders diags in the stable -json shape. An empty diagnostic

@@ -41,6 +41,7 @@ func NewCoDel(target, interval time.Duration) *CoDel {
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
+	//canal:allow hotpath allocates once per tenant queue at first sight, not per request
 	return &CoDel{Target: target, Interval: interval}
 }
 

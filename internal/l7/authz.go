@@ -18,6 +18,9 @@ type AuthzRule struct {
 	SourceService StringMatch
 	Method        StringMatch
 	Path          StringMatch
+	// denyReason is the precomputed rejection string ("denied by rule X"),
+	// filled by Engine.Configure so the per-request path never concatenates.
+	denyReason string
 }
 
 func (a AuthzRule) matches(r *Request) bool {
@@ -33,7 +36,13 @@ func Authorize(rules []AuthzRule, r *Request) (bool, string) {
 	hasAllow := false
 	for _, rule := range rules {
 		if rule.Action == AuthzDeny && rule.matches(r) {
-			return false, "denied by rule " + rule.Name
+			reason := rule.denyReason
+			if reason == "" {
+				// Fallback for rule sets not installed through Configure.
+				//canal:allow hotpath cold fallback; Configure precomputes denyReason for installed rules
+				reason = "denied by rule " + rule.Name
+			}
+			return false, reason
 		}
 		if rule.Action == AuthzAllow {
 			hasAllow = true

@@ -75,6 +75,10 @@ type serviceState struct {
 	cfg          ServiceConfig
 	ruleLimiters map[string]*TokenBucket
 	svcLimiter   *TokenBucket
+	// rlReason and abortReason hold per-rule decision strings built at
+	// Configure time, so Route never concatenates on the hot path.
+	rlReason    map[string]string
+	abortReason map[string]string
 }
 
 // NewEngine returns an engine whose traffic splits draw from the given seed,
@@ -103,11 +107,31 @@ func (e *Engine) Configure(cfg ServiceConfig) error {
 			return fmt.Errorf("l7: rule %s: splits sum to zero", r.Name)
 		}
 	}
-	st := &serviceState{cfg: cfg, ruleLimiters: make(map[string]*TokenBucket)}
-	for _, r := range cfg.Rules {
+	st := &serviceState{
+		cfg:          cfg,
+		ruleLimiters: make(map[string]*TokenBucket),
+		rlReason:     make(map[string]string),
+		abortReason:  make(map[string]string),
+	}
+	for i := range st.cfg.Rules {
+		r := &st.cfg.Rules[i]
 		if r.RateLimit != nil {
 			st.ruleLimiters[r.Name] = NewTokenBucket(r.RateLimit.RPS, r.RateLimit.Burst)
+			st.rlReason[r.Name] = "rule rate limit: " + r.Name
 		}
+		if r.Fault != nil && r.Fault.AbortPercent > 0 {
+			st.abortReason[r.Name] = "fault injection: abort by rule " + r.Name
+		}
+		// Compile every regex matcher now: the lazy fallback in
+		// StringMatch.Matches would otherwise recompile per request.
+		r.Match.compile()
+	}
+	for i := range st.cfg.Authz {
+		a := &st.cfg.Authz[i]
+		a.SourceService.compile()
+		a.Method.compile()
+		a.Path.compile()
+		a.denyReason = "denied by rule " + a.Name
 	}
 	if cfg.ServiceRateLimit != nil {
 		st.svcLimiter = NewTokenBucket(cfg.ServiceRateLimit.RPS, cfg.ServiceRateLimit.Burst)
@@ -151,19 +175,28 @@ func (e *Engine) Config(service string) (ServiceConfig, bool) {
 // Route routes one request at virtual time now. A nil error with
 // Decision.Allowed=false never happens: routing failures are expressed as
 // *DecisionError with the local status to return.
+//
+// The match loop and the allow path are allocation-free; the reject paths
+// allocate exactly one *DecisionError (their request is already failed).
+//
+//canal:hotpath
 func (e *Engine) Route(now time.Duration, r *Request) (Decision, error) {
+	//canal:allow hotpath uncontended RLock guarding the config map on the concurrent live gateway
 	e.mu.RLock()
 	st, ok := e.services[r.Service]
 	e.mu.RUnlock()
 	if !ok {
+		//canal:allow hotpath reject path: one error allocation for a request that is already failed
 		return Decision{}, &DecisionError{Status: StatusUnavailable, Reason: "no route configuration for service " + r.Service}
 	}
 
 	if allowed, reason := Authorize(st.cfg.Authz, r); !allowed {
+		//canal:allow hotpath reject path: one error allocation for a request that is already failed
 		return Decision{DenyReason: reason}, &DecisionError{Status: StatusForbidden, Reason: reason}
 	}
 
 	if st.svcLimiter != nil && !st.svcLimiter.Allow(now) {
+		//canal:allow hotpath reject path: one error allocation for a request that is already failed
 		return Decision{RateLimited: true}, &DecisionError{Status: StatusTooManyRequests, Reason: "service rate limit"}
 	}
 
@@ -175,7 +208,8 @@ func (e *Engine) Route(now time.Duration, r *Request) (Decision, error) {
 		}
 		if lim := st.ruleLimiters[rule.Name]; lim != nil && !lim.Allow(now) {
 			return Decision{RateLimited: true, Rule: rule.Name},
-				&DecisionError{Status: StatusTooManyRequests, Reason: "rule rate limit: " + rule.Name}
+				//canal:allow hotpath reject path: one error allocation; the reason string is precomputed at Configure
+				&DecisionError{Status: StatusTooManyRequests, Reason: st.rlReason[rule.Name]}
 		}
 		d.Rule = rule.Name
 		d.PathRewrite = rule.PathRewrite
@@ -191,7 +225,8 @@ func (e *Engine) Route(now time.Duration, r *Request) (Decision, error) {
 					status = StatusUnavailable
 				}
 				return Decision{Rule: rule.Name},
-					&DecisionError{Status: status, Reason: "fault injection: abort by rule " + rule.Name}
+					//canal:allow hotpath reject path: one error allocation; the reason string is precomputed at Configure
+					&DecisionError{Status: status, Reason: st.abortReason[rule.Name]}
 			}
 			if f.DelayPercent > 0 && e.roll() < f.DelayPercent {
 				d.Delay = f.Delay
@@ -207,6 +242,7 @@ func (e *Engine) Route(now time.Duration, r *Request) (Decision, error) {
 
 // roll draws a percentage in [0, 100).
 func (e *Engine) roll() float64 {
+	//canal:allow hotpath rng draw must serialize for the concurrent live gateway; fault injection only
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.rng.Float64() * 100
@@ -218,6 +254,7 @@ func (e *Engine) pickSplit(splits []Split) string {
 	for _, s := range splits {
 		total += s.Weight
 	}
+	//canal:allow hotpath rng draw must serialize for the concurrent live gateway; split rules only
 	e.mu.Lock()
 	n := e.rng.Intn(total)
 	e.mu.Unlock()

@@ -47,7 +47,19 @@ func Present() StringMatch { return StringMatch{Kind: MatchPresent} }
 // Any returns a matcher that always matches.
 func Any() StringMatch { return StringMatch{Kind: MatchAny} }
 
+// compile pre-builds the regular expression of a MatchRegex matcher so the
+// per-request path never compiles. Engine.Configure calls it on every
+// matcher it installs; matchers built by the Regex constructor are already
+// compiled.
+func (m *StringMatch) compile() {
+	if m.Kind == MatchRegex && m.re == nil {
+		m.re = regexp.MustCompile(m.Value)
+	}
+}
+
 // Matches reports whether the matcher accepts v.
+//
+//canal:hotpath
 func (m StringMatch) Matches(v string) bool {
 	switch m.Kind {
 	case MatchAny:
@@ -58,8 +70,12 @@ func (m StringMatch) Matches(v string) bool {
 		return strings.HasPrefix(v, m.Value)
 	case MatchRegex:
 		if m.re == nil {
+			// Fallback for hand-built matchers only: every matcher installed
+			// through Engine.Configure is compiled ahead of time.
+			//canal:allow hotpath cold fallback; Configure precompiles all installed matchers
 			m.re = regexp.MustCompile(m.Value)
 		}
+		//canal:allow hotpath operator-authored pattern, precompiled at Configure; matching a bounded path/header
 		return m.re.MatchString(v)
 	case MatchPresent:
 		return v != ""
@@ -84,7 +100,22 @@ type RouteMatch struct {
 	Cookies []KVMatch
 }
 
+// compile pre-builds every regex matcher in the condition (see
+// StringMatch.compile).
+func (m *RouteMatch) compile() {
+	m.Method.compile()
+	m.Path.compile()
+	for i := range m.Headers {
+		m.Headers[i].Match.compile()
+	}
+	for i := range m.Cookies {
+		m.Cookies[i].Match.compile()
+	}
+}
+
 // Matches reports whether the request satisfies every condition.
+//
+//canal:hotpath
 func (m RouteMatch) Matches(r *Request) bool {
 	if !m.Method.Matches(r.Method) {
 		return false

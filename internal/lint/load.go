@@ -3,10 +3,12 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -49,7 +51,8 @@ func moduleName(root string) string {
 
 // LoadModule parses every Go package under root into one shared FileSet.
 // Directories named testdata, vendor, or starting with "." or "_" are
-// skipped (testdata holds the linter's own deliberately-violating fixtures).
+// skipped (testdata holds the linter's own deliberately-violating fixtures),
+// as are files whose //go:build constraint a default build excludes.
 // Files that fail to parse abort the load: a lint run over a tree that does
 // not parse would under-report, not over-report.
 func LoadModule(root string) ([]*Package, *token.FileSet, error) {
@@ -118,7 +121,14 @@ func loadDir(fset *token.FileSet, dir, rel string) (*Package, error) {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if buildExcluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -135,6 +145,42 @@ func loadDir(fset *token.FileSet, dir, rel string) (*Package, error) {
 		return nil, nil
 	}
 	return pkg, nil
+}
+
+// buildExcluded reports whether the file's //go:build constraint (if any)
+// excludes it from a default build of this tree: the tag set `go build`
+// would use with no -tags flag. Without this, tag-disjoint file pairs (e.g.
+// `//go:build race` / `//go:build !race` declaring the same constant) parse
+// as a redeclaration the compiler never sees.
+func buildExcluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			return false // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return false // malformed line: keep the file, let go vet complain
+		}
+		return !expr.Eval(defaultBuildTag)
+	}
+	return false
+}
+
+// defaultBuildTag reports whether tag is satisfied in a default build: the
+// host OS/arch, the gc toolchain, the "unix" alias, and every go1.N
+// language version. Opt-in tags like "race" are unsatisfied.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return runtime.GOOS == "linux" || runtime.GOOS == "darwin"
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // forEachFunc visits every function or method body in the file, including

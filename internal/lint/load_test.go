@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestBuildExcluded(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"no constraint", "package p\n", false},
+		{"race", "//go:build race\n\npackage p\n", true},
+		{"not race", "//go:build !race\n\npackage p\n", false},
+		{"host os", "//go:build " + runtime.GOOS + "\n\npackage p\n", false},
+		{"other os", "//go:build plan9\n\npackage p\n", true},
+		{"lang version", "//go:build go1.21\n\npackage p\n", false},
+		{"and mixed", "//go:build race && " + runtime.GOOS + "\n\npackage p\n", true},
+		{"or mixed", "//go:build race || " + runtime.GOOS + "\n\npackage p\n", false},
+		{"after package clause ignored", "package p\n\n//go:build race\n", false},
+		{"doc comment mention ignored", "// The //go:build race form is documented here.\npackage p\n", false},
+	}
+	for _, c := range cases {
+		if got := buildExcluded([]byte(c.src)); got != c.want {
+			t.Errorf("%s: buildExcluded = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestLoadSkipsExcludedBuildFiles loads a package holding a tag-disjoint
+// file pair declaring the same constant — legal under go build, a
+// redeclaration if both files land in one checking unit — and asserts the
+// excluded file never enters the package.
+func TestLoadSkipsExcludedBuildFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("on.go", "//go:build race\n\npackage p\n\nconst flag = true\n")
+	write("off.go", "//go:build !race\n\npackage p\n\nconst flag = false\n")
+	pkg, err := LoadDir(dir, "internal/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (the !race side)", len(pkg.Files))
+	}
+	if got := filepath.Base(pkg.Files[0].Name); got != "off.go" {
+		t.Fatalf("kept %s, want off.go", got)
+	}
+	if diags := Run([]*Package{pkg}, Analyzers()); len(diags) != 0 {
+		t.Fatalf("tag-disjoint pair still produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,56 @@
+// Package a exercises the call-graph builder: interface dispatch resolved
+// by class-hierarchy analysis, method values as may-call references,
+// direct and mutual recursion, and cross-unit (external-test) edges.
+package a
+
+// Ringer is dispatched through CHA: every in-module concrete type with a
+// matching Ring method becomes an edge target, including test-only ones.
+type Ringer interface{ Ring() int }
+
+// Bell implements Ringer with a value receiver.
+type Bell struct{}
+
+// Ring returns a constant.
+func (Bell) Ring() int { return 1 }
+
+// Gong implements Ringer with a pointer receiver.
+type Gong struct{ N int }
+
+// Ring returns the stored count.
+func (g *Gong) Ring() int { return g.N }
+
+// Chime dispatches through the interface.
+func Chime(r Ringer) int { return r.Ring() }
+
+// Countdown recurses directly; reachability must terminate on the cycle.
+func Countdown(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Countdown(n-1) + 1
+}
+
+// Even and Odd recurse mutually.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+// Odd is Even's partner.
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Apply invokes a callback. The call through the plain function value stays
+// unresolved by design; the interesting edge is the method-value reference
+// at Handle's call site.
+func Apply(f func() int) int { return f() }
+
+// Handle passes a method value: the reference is a may-call edge to
+// (Bell).Ring even though the invocation happens inside Apply.
+func Handle(b Bell) int { return Apply(b.Ring) }

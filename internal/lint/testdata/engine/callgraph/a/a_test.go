@@ -1,0 +1,17 @@
+package a_test
+
+import "cgfix/a"
+
+// loudRinger is a test-only implementation: CHA fans out to it, but
+// reachability must never walk into a test node.
+type loudRinger struct{}
+
+func (loudRinger) Ring() int { return 99 }
+
+// ringAll is a cross-unit caller: an external-test function with call
+// edges into the primary unit.
+func ringAll() int {
+	return a.Chime(loudRinger{}) + a.Handle(a.Bell{})
+}
+
+var _ = ringAll

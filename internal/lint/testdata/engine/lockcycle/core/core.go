@@ -1,0 +1,41 @@
+// Package core defines the lock classes of a cross-package lock-order
+// inversion (the canalmesh analogue: an l7 engine lock and a telemetry
+// registry lock acquired in opposite orders from different packages).
+package core
+
+import "sync"
+
+// A guards one resource.
+type A struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// B guards another.
+type B struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// TouchA locks A on its own; callers holding other locks extend the
+// acquisition order through this call.
+func TouchA(a *A) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	a.N++
+}
+
+// C and D form a second inversion whose reverse leg carries a reviewed
+// suppression (in package rev).
+type C struct{ Mu sync.Mutex }
+
+// D pairs with C.
+type D struct{ Mu sync.Mutex }
+
+// CThenD acquires C then D directly.
+func CThenD(c *C, d *D) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	d.Mu.Lock() // want "lock-order cycle between core.C.Mu and core.D.Mu"
+	d.Mu.Unlock()
+}

@@ -1,0 +1,42 @@
+// Package rev closes the lock-order cycles from the other side of the
+// package boundary: one leg direct, one leg through a call into core.
+package rev
+
+import "lockfix/core"
+
+// AThenB acquires A then B directly.
+func AThenB(a *core.A, b *core.B) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.Mu.Lock() // want "lock-order cycle between core.A.Mu and core.B.Mu"
+	b.Mu.Unlock()
+}
+
+// BThenA acquires B, then A through core.TouchA — the reverse order, one
+// call frame down.
+func BThenA(a *core.A, b *core.B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	core.TouchA(a) // want "lock-order cycle between core.B.Mu and core.A.Mu"
+}
+
+// DThenC closes the C/D cycle but carries a reviewed suppression; only the
+// core-side leg reports.
+func DThenC(c *core.C, d *core.D) {
+	d.Mu.Lock()
+	defer d.Mu.Unlock()
+	//canal:allow lockorder fixture: deliberate inversion kept to prove directive suppression
+	c.Mu.Lock()
+	c.Mu.Unlock()
+}
+
+// Sequential releases E before taking F: hold ranges end at the Unlock, so
+// no order edge exists in either direction and no cycle is reported.
+func Sequential(e *core.A, f *core.B) {
+	e.Mu.Lock()
+	e.N++
+	e.Mu.Unlock()
+	f.Mu.Lock()
+	f.N++
+	f.Mu.Unlock()
+}

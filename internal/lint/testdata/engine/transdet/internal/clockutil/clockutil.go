@@ -1,0 +1,26 @@
+// Package clockutil is an out-of-scope helper: wall-clock and global-rand
+// reads are legal here, but sim-scope callers must not reach them.
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+
+	"canalmesh/internal/sim/sub"
+)
+
+// Stamp reads the wall clock one more hop down.
+func Stamp() int64 { return nanos() }
+
+func nanos() int64 { return time.Now().UnixNano() }
+
+// Roll draws from the global math/rand source directly.
+func Roll() int { return rand.Intn(6) }
+
+// Pure is deterministic all the way down.
+func Pure() int64 { return 42 }
+
+// Relay re-enters sim scope before any clock read: transdeterminism must
+// stop propagating at the boundary (sub's own clock use is simdeterminism's
+// jurisdiction).
+func Relay() int64 { return sub.Tick() }

@@ -1,0 +1,9 @@
+package sim
+
+import "canalmesh/internal/clockutil"
+
+// harnessNow is test-unit code: wall-clock reach is tolerated in harnesses,
+// matching the syntactic analyzer's test exemption.
+func harnessNow() int64 { return clockutil.Stamp() }
+
+var _ = harnessNow

@@ -1,0 +1,8 @@
+// Package sub is sim-scope: its direct clock read belongs to the syntactic
+// simdeterminism analyzer, not to transitive propagation.
+package sub
+
+import "time"
+
+// Tick reads the clock inside sim scope.
+func Tick() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,61 @@
+// Fixture for the hotpath analyzer: //canal:hotpath roots, direct fact
+// violations, transitive ones with call chains, CHA dispatch, and the
+// silence of unreachable code.
+package l7
+
+import (
+	"fmt"
+	"sync"
+)
+
+var mu sync.Mutex
+
+var sink []int
+
+var ch = make(chan int, 1)
+
+// Hot is an annotated root: every banned fact below is a finding.
+//
+//canal:hotpath
+func Hot(n int, s string) string {
+	buf := make([]byte, n) // want "make allocates in hot-path function internal/l7.Hot"
+	mu.Lock()              // want "acquires mu (sync.Mutex) in hot-path function internal/l7.Hot"
+	mu.Unlock()
+	ch <- n                       // want "channel send may block in hot-path function internal/l7.Hot"
+	label := fmt.Sprintf("%d", n) // want "calls fmt.Sprintf in hot-path function internal/l7.Hot" "argument boxes int into interface parameter of fmt.Sprintf"
+	out := s + label              // want "string concatenation allocates in hot-path function internal/l7.Hot"
+	_ = buf
+	return grow(out)
+}
+
+// grow is unannotated but reachable from Hot, so its facts land on Hot's
+// hot path with the call chain spelled out.
+func grow(s string) string {
+	sink = append(sink, len(s)) // want "append may grow its backing array on the hot path of internal/l7.Hot (via internal/l7.Hot -> internal/l7.grow)"
+	return s
+}
+
+// step is dispatched through CHA: the analyzer must fan out to every
+// non-test implementation.
+type step interface{ run() }
+
+type allocStep struct{}
+
+func (allocStep) run() {
+	sink = append(sink, 1) // want "append may grow its backing array on the hot path of internal/l7.Dispatch (via internal/l7.Dispatch -> internal/l7.(allocStep).run)"
+}
+
+type quietStep struct{ n int }
+
+func (q quietStep) run() { q.n++ }
+
+// Dispatch is a hot root whose only violation hides behind an interface.
+//
+//canal:hotpath
+func Dispatch(s step) { s.run() }
+
+// Cold has the same shape as Hot but no annotation and no hot caller:
+// reachability, not syntax, drives the analyzer.
+func Cold(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,22 @@
+// Fixture for hotpath directive handling through the full pipeline: one
+// justified suppression and one rotted directive that must surface stale.
+package l7
+
+// Spray is hot but its growth is consciously amortized.
+//
+//canal:hotpath
+func Spray(dst []int, n int) []int {
+	//canal:allow hotpath fixture: growth is amortized against preallocated capacity
+	dst = append(dst, n)
+	return dst
+}
+
+// Quiet is hot and clean, yet carries a directive with nothing to
+// suppress.
+//
+//canal:hotpath
+func Quiet(n int) int {
+	// want+1 "canal:allow hotpath suppresses nothing"
+	//canal:allow hotpath fixture: rotted justification kept to prove staleness detection
+	return n * 2
+}

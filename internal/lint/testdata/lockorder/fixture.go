@@ -1,0 +1,106 @@
+// Fixture for the lockorder analyzer: self-reacquisition, nested read
+// locks, transitive reacquisition through a call, an in-package cycle, and
+// the negatives — sequential holds and distinct instances of one class.
+package overlay
+
+import "sync"
+
+// Reg is a registry guarded by one mutex.
+type Reg struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Relock reacquires the same expression while held: guaranteed deadlock.
+func (r *Reg) Relock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want "self-deadlock: r.mu is already held"
+	r.n++
+}
+
+// Table is guarded by a read-write mutex.
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// GetTwice read-locks the same expression twice in one body: deadlocks
+// once a writer queues between the two.
+func (t *Table) GetTwice(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.mu.RLock() // want "nested RLock of t.mu"
+	v := t.m[k]
+	t.mu.RUnlock()
+	return v
+}
+
+// Size calls locked() while holding t.mu: the callee reacquires it.
+func (t *Table) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.locked() // want "call into internal/overlay.(*Table).locked reacquires internal/overlay.Table.mu"
+}
+
+// locked takes t.mu itself.
+func (t *Table) locked() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// Pool and Cache form an in-package lock-order cycle.
+type Pool struct{ mu sync.Mutex }
+
+// Cache pairs with Pool.
+type Cache struct{ mu sync.Mutex }
+
+// FillThenTrim takes Pool.mu then Cache.mu.
+func FillThenTrim(p *Pool, c *Cache) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.mu.Lock() // want "lock-order cycle between internal/overlay.Pool.mu and internal/overlay.Cache.mu"
+	c.mu.Unlock()
+}
+
+// TrimThenFill takes them in the reverse order.
+func TrimThenFill(p *Pool, c *Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p.mu.Lock() // want "lock-order cycle between internal/overlay.Cache.mu and internal/overlay.Pool.mu"
+	p.mu.Unlock()
+}
+
+// Spare exists so the sequential negative uses classes with no other
+// ordering edges.
+type Spare struct{ mu sync.Mutex }
+
+// Extra pairs with Spare in the sequential negatives.
+type Extra struct{ mu sync.Mutex }
+
+// Sequential releases the first lock before taking the second: no edge.
+func Sequential(s *Spare, x *Extra) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+// SequentialReverse would close a Spare/Extra cycle if hold ranges were
+// ignored; with correct ranges both functions contribute nothing.
+func SequentialReverse(s *Spare, x *Extra) {
+	x.mu.Lock()
+	x.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Pair locks two distinct Pool instances: same class, no order defined, so
+// instance conflation must not manufacture a self-cycle.
+func Pair(a, b *Pool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -92,6 +92,7 @@ func (p *Processor) BusyTotal() time.Duration { return p.total }
 // completes. It returns the completion instant, so callers can chain hops.
 func (p *Processor) Exec(cost time.Duration, fn func()) time.Duration {
 	if cost < 0 {
+		//canal:allow hotpath panic path: only reached on an experiment bug, never at steady state
 		panic(fmt.Sprintf("sim: processor %q got negative cost %v", p.name, cost))
 	}
 	now := p.sim.Now()
@@ -140,8 +141,11 @@ func (p *Processor) QueueLen() int {
 // like Exec(w.Cost, w.Do). With one, w starts immediately if a core is idle;
 // otherwise it enters the discipline's queue and starts when the discipline
 // hands it to a freed core — or gets shed, invoking w.Drop.
+//
+//canal:hotpath
 func (p *Processor) Submit(w *Work) {
 	if w.Cost < 0 {
+		//canal:allow hotpath panic path: only reached on an experiment bug, never at steady state
 		panic(fmt.Sprintf("sim: processor %q got negative cost %v", p.name, w.Cost))
 	}
 	if p.disc == nil {

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -17,8 +16,15 @@ import (
 
 // Sim is a discrete-event simulator. The zero value is not usable; call New.
 type Sim struct {
-	now    time.Duration
-	queue  eventHeap
+	now time.Duration
+	// queue is a value-based binary min-heap on (at, seq). Events are held
+	// by value so pushing costs at most an amortized slice growth and
+	// popping is allocation-free — container/heap would box every event
+	// into an interface and force a per-event pointer allocation, which
+	// dominates the event-loop profile at region scale. (at, seq) is a
+	// strict total order (seq is unique), so the pop sequence — and with
+	// it every regenerated table — is identical to the old heap's.
+	queue  []event
 	seq    uint64
 	rng    *rand.Rand
 	halted bool
@@ -39,12 +45,15 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // At schedules fn to run at virtual time t. Scheduling in the past is an
 // error in experiment logic, so it panics loudly rather than corrupting the
 // causal order of events.
+//
+//canal:hotpath
 func (s *Sim) At(t time.Duration, fn func()) {
 	if t < s.now {
+		//canal:allow hotpath panic path: only reached on a scheduling bug, never at steady state
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -72,10 +81,12 @@ func (s *Sim) Every(interval time.Duration, fn func() bool) {
 }
 
 // Run processes events until the queue is empty or Halt is called.
+//
+//canal:hotpath
 func (s *Sim) Run() {
 	s.halted = false
 	for len(s.queue) > 0 && !s.halted {
-		ev := heap.Pop(&s.queue).(*event)
+		ev := s.pop()
 		s.now = ev.at
 		ev.fn()
 	}
@@ -83,10 +94,12 @@ func (s *Sim) Run() {
 
 // RunUntil processes events with timestamps <= t, then advances the clock to
 // t. Events scheduled after t remain queued.
+//
+//canal:hotpath
 func (s *Sim) RunUntil(t time.Duration) {
 	s.halted = false
 	for len(s.queue) > 0 && !s.halted && s.queue[0].at <= t {
-		ev := heap.Pop(&s.queue).(*event)
+		ev := s.pop()
 		s.now = ev.at
 		ev.fn()
 	}
@@ -108,26 +121,55 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the heap order: earliest timestamp first, scheduling order
+// breaking ties.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// push appends ev and sifts it up to restore the heap invariant.
+//
+//canal:hotpath
+func (s *Sim) push(ev event) {
+	//canal:allow hotpath amortized: the queue's backing array grows O(log n) times over a whole run
+	s.queue = append(s.queue, ev)
+	i := len(s.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.queue[i].before(s.queue[parent]) {
+			break
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// pop removes and returns the earliest event without allocating.
+//
+//canal:hotpath
+func (s *Sim) pop() event {
+	top := s.queue[0]
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue[n] = event{} // release the closure so the GC can collect it
+	s.queue = s.queue[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.queue[l].before(s.queue[smallest]) {
+			smallest = l
+		}
+		if r < n && s.queue[r].before(s.queue[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s.queue[i], s.queue[smallest] = s.queue[smallest], s.queue[i]
+		i = smallest
+	}
+	return top
 }

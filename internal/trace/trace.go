@@ -129,8 +129,11 @@ func (t *Trace) Hops() []Span { return t.Spans[1:] }
 func (t *Trace) Total() time.Duration { return t.Spans[0].End - t.Spans[0].Start }
 
 // AddHop appends one hop span parented on the root and returns its ID.
+//
+//canal:hotpath
 func (t *Trace) AddHop(h Hop) SpanID {
 	id := t.tracer.NewSpanID()
+	//canal:allow hotpath amortized: Spans is preallocated for 8 hops at start; only deeper paths grow it
 	t.Spans = append(t.Spans, Span{
 		ID:     id,
 		Parent: t.Spans[0].ID,
@@ -238,6 +241,7 @@ func (tr *Tracer) Now() time.Duration { return tr.now() }
 
 // NewSpanID allocates a span ID from the seeded generator.
 func (tr *Tracer) NewSpanID() SpanID {
+	//canal:allow hotpath the seeded ID generator must serialize on the concurrent live path; uncontended under the sim
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	return tr.newSpanIDLocked()
@@ -279,12 +283,16 @@ func (tr *Tracer) StartRemote(id TraceID, parent SpanID, sampled bool, arch, nam
 }
 
 func (tr *Tracer) start(id TraceID, parent, root SpanID, arch, name string, sampled bool) *Trace {
+	// Room for the root plus seven hops before AddHop's append ever grows
+	// the slice — deeper than any proxy architecture modeled here.
+	spans := make([]Span, 1, 8)
+	spans[0] = Span{ID: root, Parent: parent, Name: name, Start: tr.now()}
 	return &Trace{
 		ID:      id,
 		Arch:    arch,
 		Name:    name,
 		Sampled: sampled,
-		Spans:   []Span{{ID: root, Parent: parent, Name: name, Start: tr.now()}},
+		Spans:   spans,
 		tracer:  tr,
 	}
 }

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Repo-wide verification: build, formatting, vet, the canalvet invariant
 # linters (sim determinism, map-order hygiene, atomic/lock discipline, error
-# hygiene, plus the type-aware unit-safety, context-flow, deprecation and
-# channel-leak analyzers — see internal/lint), and the full test suite under
-# the race detector. This is the gate every PR must pass, and CI runs exactly the
-# same steps (.github/workflows/ci.yml).
+# hygiene, the type-aware unit-safety, context-flow, deprecation and
+# channel-leak analyzers, plus the call-graph-driven hotpath, lockorder and
+# transdeterminism analyzers — see internal/lint), and the full test suite
+# under the race detector. This is the gate every PR must pass, and CI runs
+# exactly the same steps (.github/workflows/ci.yml).
 set -eu
 cd "$(dirname "$0")"
 
@@ -19,7 +20,20 @@ fi
 
 go vet ./...
 go run ./cmd/canalvet -stale-as-error ./...
+
+# Diagnostic order is a byte-stable invariant (the call-graph engine walks
+# everything in sorted order): two fresh canalvet runs must emit identical
+# machine-readable output.
+go run ./cmd/canalvet -json /tmp/canalvet-run1.json ./...
+go run ./cmd/canalvet -json /tmp/canalvet-run2.json ./...
+cmp /tmp/canalvet-run1.json /tmp/canalvet-run2.json
+
 go test -race ./...
+
+# The hot-path allocation gate skips itself under -race (instrumentation
+# changes allocation counts), so it gets a dedicated non-race invocation
+# against the checked-in BENCH_hotpath.json baseline.
+go test -run TestHotPathAllocs ./internal/bench
 
 # Smoke the tracing pipeline end to end: the per-hop breakdown tables must
 # render and the JSON report must export.
