@@ -83,6 +83,10 @@ func BenchmarkConfigChurn(b *testing.B) {
 	run(b, func() bench.Result { return bench.ConfigChurn(context.Background()) })
 }
 
+func BenchmarkPolicyScale(b *testing.B) {
+	run(b, func() bench.Result { return bench.PolicyScale(context.Background()) })
+}
+
 func BenchmarkFig16NoisyNeighbor(b *testing.B) {
 	run(b, func() bench.Result { return bench.Fig16NoisyNeighbor() })
 }

@@ -8,11 +8,13 @@
 //	canalsim flash-crowd      # admission control off vs on under a 5x crowd
 //	canalsim trace            # per-hop latency breakdown from distributed traces
 //	canalsim config-churn     # delta vs full config push under region-scale churn
+//	canalsim policy-scale     # compiled intention dispatch tables, 10^3 -> 10^6 rules
 //
-// The trace and config-churn scenarios take flags:
+// The trace, config-churn, and policy-scale scenarios take flags:
 //
 //	canalsim trace -arch canal -arch istio -requests 200 -seed 42 -json out.json
 //	canalsim config-churn -nodes 1000 -services 60 -pods 25 -window 90s -debounce 2s -seed 42 -json BENCH_configpush.json
+//	canalsim policy-scale -max-rules 1000000 -queries 4096 -batch 64 -seed 42 -json BENCH_policy.json
 package main
 
 import (
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd|trace|config-churn>")
+		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd|trace|config-churn|policy-scale>")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -55,6 +57,8 @@ func main() {
 		traceCmd(os.Args[2:])
 	case "config-churn":
 		configChurnCmd(os.Args[2:])
+	case "policy-scale":
+		policyScaleCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "canalsim: unknown scenario %q\n", os.Args[1])
 		os.Exit(2)
@@ -83,6 +87,60 @@ func configChurnCmd(args []string) {
 	}
 	table, rep := bench.ConfigChurnResult(context.Background(), spec)
 	fmt.Print(table.String())
+	if *jsonPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
+	}
+}
+
+// policyScaleCmd sweeps the compiled policy dispatch table from 10^3 to
+// -max-rules rules: lookup cost, full vs incremental recompile time, and
+// policy-push convergence under churn. The deterministic table prints to
+// stdout; wall-clock timings land only in the JSON report (the
+// BENCH_policy.json artifact).
+func policyScaleCmd(args []string) {
+	fs := flag.NewFlagSet("policy-scale", flag.ExitOnError)
+	spec := bench.DefaultPolicyScaleSpec()
+	maxRules := fs.Int("max-rules", spec.Scales[len(spec.Scales)-1], "top of the rule-count sweep (decades from 1000)")
+	fs.IntVar(&spec.Queries, "queries", spec.Queries, "lookup sample size per scale")
+	fs.IntVar(&spec.IncrementalBatch, "batch", spec.IncrementalBatch, "intention changes per incremental Apply measurement")
+	fs.IntVar(&spec.BaselineCap, "baseline-cap", spec.BaselineCap, "largest scale to run the linear-scan oracle at")
+	fs.IntVar(&spec.ChurnMutations, "mutations", spec.ChurnMutations, "policy mutations in the push-convergence section")
+	fs.DurationVar(&spec.Debounce, "debounce", spec.Debounce, "control-plane coalescing window")
+	fs.Int64Var(&spec.Seed, "seed", spec.Seed, "corpus and simulation seed")
+	jsonPath := fs.String("json", "", "write the JSON report to this file")
+	fs.Parse(args)
+	spec.Scales = nil
+	for n := 1000; n <= *maxRules; n *= 10 {
+		spec.Scales = append(spec.Scales, n)
+	}
+	if len(spec.Scales) == 0 {
+		spec.Scales = []int{*maxRules}
+	}
+	table, rep := bench.PolicyScaleResult(context.Background(), spec)
+	fmt.Print(table.String())
+	for _, row := range rep.Rows {
+		if row.LookupNS > 0 {
+			fmt.Printf("%8d rules: lookup %7.0f ns/op, full compile %8.1f ms, incremental(%d) %6.2f ms",
+				row.Rules, row.LookupNS, row.FullCompileMS, spec.IncrementalBatch, row.IncrementalMS)
+			if row.BaselineNS > 0 {
+				fmt.Printf(", linear baseline %9.0f ns/op", row.BaselineNS)
+			}
+			fmt.Println()
+		}
+	}
+	if rep.FlatnessRatio > 0 {
+		fmt.Printf("lookup flatness %.2fx across the sweep (linear baseline grew %.0fx to %d rules); incremental recompile %.0fx cheaper than full\n",
+			rep.FlatnessRatio, rep.BaselineGrowth, rep.BaselineCap, rep.IncrementalSpeedup)
+	}
 	if *jsonPath != "" {
 		data, err := rep.JSON()
 		if err != nil {

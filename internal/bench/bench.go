@@ -184,6 +184,7 @@ func All() []Experiment {
 		{"fig14", "Configuration completion time", bare(func() Result { return Fig14ConfigCompletion() })},
 		{"fig15", "Southbound bandwidth overhead", bare(func() Result { return Fig15SouthboundBandwidth() })},
 		{"configpush", "Delta vs full config push under region-scale churn", func(ctx context.Context) Result { return ConfigChurn(ctx) }},
+		{"policy", "Compiled intention dispatch tables at scale", func(ctx context.Context) Result { return PolicyScale(ctx) }},
 		{"fig16", "Noisy neighbor isolation", bare(func() Result { return Fig16NoisyNeighbor() })},
 		{"admission", "Flash crowd with admission control off vs on", bare(func() Result { return AdmissionFlashCrowd() })},
 		{"fig17", "CDF of completion time of Reuse and New", func(ctx context.Context) Result { return Fig17ScalingCDF(ctx) }},

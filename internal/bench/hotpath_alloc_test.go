@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"canalmesh/internal/l7"
+	"canalmesh/internal/policy"
 	"canalmesh/internal/sim"
 	"canalmesh/internal/trace"
 )
@@ -92,6 +93,28 @@ func measureHotPathAllocs(t *testing.T) map[string]float64 {
 	})
 	if len(tc.Hops()) != 1 {
 		t.Fatalf("trace bench did not record hops: %d", len(tc.Hops()))
+	}
+
+	// Policy lookup: a compiled dispatch-table Eval through a populated
+	// shard (exact-key hit plus wildcard probes) on the deny-wins path.
+	pc := policy.NewCompiler(policy.Config{Seed: 42})
+	if _, err := pc.Apply(nil, []policy.Intention{
+		{ID: "a", Name: "allow", SrcTenant: "acme", Src: policy.Exact("web"),
+			Dst: policy.Exact("checkout"), Action: policy.ActionAllow},
+		{ID: "d", Name: "deny-admin", SrcTenant: "acme", Src: policy.Any(),
+			Dst: policy.Exact("checkout"), Path: policy.Prefix("/admin"),
+			Action: policy.ActionDeny},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pq := policy.Query{SrcTenant: "acme", SrcService: "web", DstService: "checkout",
+		Method: "GET", Path: "/api/cart"}
+	var pv policy.Verdict
+	got["policy_lookup"] = testing.AllocsPerRun(1000, func() {
+		pv = pc.Eval(pq)
+	})
+	if !pv.Allowed || pv.Rule != "allow" {
+		t.Fatalf("policy bench did not exercise the matched allow path: %+v", pv)
 	}
 
 	return got

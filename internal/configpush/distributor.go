@@ -8,6 +8,7 @@ import (
 
 	"canalmesh/internal/cluster"
 	"canalmesh/internal/controlplane"
+	"canalmesh/internal/policy"
 	"canalmesh/internal/sim"
 )
 
@@ -32,6 +33,10 @@ type Config struct {
 	// Retain is how many snapshot versions stay diffable (minimum 2,
 	// default 8). A subscriber acked before the window full-resyncs.
 	Retain int
+	// Policy, when set, contributes the compiled intention dispatch buckets
+	// (one content-addressed resource per bucket) to every snapshot. Call
+	// PolicyChanged after mutating the compiler so the change is pushed.
+	Policy *policy.Compiler
 	// FullPush disables deltas: every push sends the subscriber's complete
 	// scope, the §2.1 baseline the delta path is measured against.
 	FullPush bool
@@ -103,6 +108,11 @@ func New(cfg Config) *Distributor {
 	}
 	if cfg.Retain <= 0 {
 		cfg.Retain = 8
+	} else if cfg.Retain < 2 {
+		// The documented minimum: head plus one diff base. Retain==1 used to
+		// slip through this clamp, turning every head advance into a forced
+		// full resync.
+		cfg.Retain = 2
 	}
 	if cfg.MaxCoalesce <= 0 {
 		cfg.MaxCoalesce = 5 * cfg.Debounce
@@ -163,6 +173,38 @@ func (d *Distributor) onEvent(e cluster.Event) {
 		}
 	}
 	d.schedule()
+}
+
+// PolicyChanged notifies the distributor that the policy compiler's
+// intention set moved. It behaves like any other API event: the change
+// coalesces into the debounce window and ships in the next flush as the
+// delta of touched dispatch buckets.
+func (d *Distributor) PolicyChanged() {
+	d.events++
+	if !d.haveWork {
+		d.haveWork = true
+		d.earliestEvent = d.cfg.Sim.Now()
+	}
+	d.schedule()
+}
+
+// snapshotResources materializes the full resource set for one snapshot:
+// the cluster's endpoints/identities/rule sets plus, when a policy compiler
+// is attached, one content-addressed resource per compiled dispatch bucket.
+func (d *Distributor) snapshotResources() []Resource {
+	out := buildResources(d.cfg.Cluster, d.cfg.Sizing, d.routeRev)
+	if d.cfg.Policy != nil {
+		for _, br := range d.cfg.Policy.Resources() {
+			out = append(out, Resource{
+				Kind:    KindPolicy,
+				Name:    br.Key,
+				Service: br.Service,
+				Bytes:   br.Members * d.cfg.Sizing.PerRuleBytes,
+				Hash:    br.Hash,
+			})
+		}
+	}
+	return out
 }
 
 // Subscribe registers a watch session. A closed session's ID may be reused;
@@ -229,7 +271,7 @@ func (d *Distributor) Sessions() []*Session {
 // long ago. Pending un-flushed events are absorbed into the baseline.
 func (d *Distributor) SyncAll() {
 	d.version++
-	snap := newSnapshot(d.version, d.cfg.Sim.Now(), buildResources(d.cfg.Cluster, d.cfg.Sizing, d.routeRev))
+	snap := newSnapshot(d.version, d.cfg.Sim.Now(), d.snapshotResources())
 	d.store.Append(snap)
 	for _, s := range d.sessions {
 		if !s.closed {
@@ -321,7 +363,7 @@ func (d *Distributor) flush() {
 	eventAt := d.earliestEvent
 
 	d.version++
-	snap := newSnapshot(d.version, now, buildResources(d.cfg.Cluster, d.cfg.Sizing, d.routeRev))
+	snap := newSnapshot(d.version, now, d.snapshotResources())
 	prev := d.store.Head()
 	d.store.Append(snap)
 	delta := Diff(prev, snap)

@@ -34,6 +34,10 @@ const (
 	// KindIdentity is the tiny per-pod identity/observability entry a Canal
 	// on-node proxy needs (§4.1.1) — no routing configuration.
 	KindIdentity
+	// KindPolicy is one compiled policy dispatch bucket (policy.BucketResource):
+	// the unit of incremental intention recompilation, content-addressed so an
+	// unchanged bucket never crosses the southbound link.
+	KindPolicy
 )
 
 // String returns the kind's key prefix.
@@ -45,6 +49,8 @@ func (k Kind) String() string {
 		return "rules"
 	case KindIdentity:
 		return "id"
+	case KindPolicy:
+		return "pol"
 	default:
 		return "kind?"
 	}
@@ -124,11 +130,20 @@ func (sc Scope) Key() string {
 func (sc Scope) Matches(r Resource) bool {
 	switch sc.Kind {
 	case ScopeMesh:
-		return r.Kind == KindEndpoint || r.Kind == KindRuleSet
+		return r.Kind == KindEndpoint || r.Kind == KindRuleSet || r.Kind == KindPolicy
 	case ScopeEndpoints:
 		return r.Kind == KindEndpoint
 	case ScopeService:
-		return r.Kind == KindEndpoint || (r.Kind == KindRuleSet && r.Name == sc.Name)
+		if r.Kind == KindEndpoint {
+			return true
+		}
+		if r.Kind == KindRuleSet {
+			return r.Name == sc.Name
+		}
+		// Policy buckets: the destination-exact buckets of this service, plus
+		// every wildcard-destination bucket (Service == "") — those can match
+		// traffic to any destination, so every L7 enforcement point needs them.
+		return r.Kind == KindPolicy && (r.Service == sc.Name || r.Service == "")
 	case ScopeNodeIdentity:
 		return r.Kind == KindIdentity && r.Node == sc.Name
 	default:

@@ -32,29 +32,33 @@ func (a AuthzRule) matches(r *Request) bool {
 // Authorize evaluates rules with Istio-like semantics: any matching DENY
 // rejects; otherwise, if no ALLOW rules exist the request is admitted; if
 // ALLOW rules exist, at least one must match.
+//
+// The scan is a single pass: a matching deny returns immediately, and the
+// first matching allow is remembered so the allow decision needs no second
+// sweep over the rule set.
 func Authorize(rules []AuthzRule, r *Request) (bool, string) {
 	hasAllow := false
-	for _, rule := range rules {
-		if rule.Action == AuthzDeny && rule.matches(r) {
-			reason := rule.denyReason
-			if reason == "" {
-				// Fallback for rule sets not installed through Configure.
-				//canal:allow hotpath cold fallback; Configure precomputes denyReason for installed rules
-				reason = "denied by rule " + rule.Name
+	allowMatched := false
+	for i := range rules {
+		rule := &rules[i]
+		if rule.Action == AuthzDeny {
+			if rule.matches(r) {
+				reason := rule.denyReason
+				if reason == "" {
+					// Fallback for rule sets not installed through Configure.
+					reason = "denied by rule " + rule.Name
+				}
+				return false, reason
 			}
-			return false, reason
+			continue
 		}
-		if rule.Action == AuthzAllow {
-			hasAllow = true
+		hasAllow = true
+		if !allowMatched && rule.matches(r) {
+			allowMatched = true
 		}
 	}
-	if !hasAllow {
+	if !hasAllow || allowMatched {
 		return true, ""
-	}
-	for _, rule := range rules {
-		if rule.Action == AuthzAllow && rule.matches(r) {
-			return true, ""
-		}
 	}
 	return false, "no allow rule matched"
 }

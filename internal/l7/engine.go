@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"canalmesh/internal/policy"
 )
 
 // Split is one arm of a weighted traffic split: a destination subset name
@@ -69,6 +71,11 @@ type Engine struct {
 	mu       sync.RWMutex
 	services map[string]*serviceState
 	rng      *rand.Rand
+	// policy is the compiled intention dispatch table authorization is
+	// evaluated against. Configure translates each service's AuthzRule list
+	// into intentions and installs them here incrementally; Route's
+	// per-request check is a bucket lookup, never a linear rule scan.
+	policy *policy.Compiler
 }
 
 type serviceState struct {
@@ -79,6 +86,9 @@ type serviceState struct {
 	// Configure time, so Route never concatenates on the hot path.
 	rlReason    map[string]string
 	abortReason map[string]string
+	// authzIDs are the policy-compiler intention IDs installed for this
+	// service's Authz rules, deleted on reconfigure or Remove.
+	authzIDs []string
 }
 
 // NewEngine returns an engine whose traffic splits draw from the given seed,
@@ -87,7 +97,53 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{
 		services: make(map[string]*serviceState),
 		rng:      rand.New(rand.NewSource(seed)),
+		policy:   policy.NewCompiler(policy.Config{Seed: seed}),
 	}
+}
+
+// Policy exposes the engine's compiled policy table, letting control-plane
+// layers install tenant intentions directly (beyond per-service AuthzRule
+// translation) and letting tests and benches inspect the compiled state.
+func (e *Engine) Policy() *policy.Compiler { return e.policy }
+
+// matchToPolicy translates a route-table StringMatch into a policy predicate.
+func matchToPolicy(m StringMatch) policy.Match {
+	switch m.Kind {
+	case MatchExact:
+		return policy.Exact(m.Value)
+	case MatchPrefix:
+		return policy.Prefix(m.Value)
+	case MatchRegex:
+		return policy.Regex(m.Value)
+	case MatchPresent:
+		return policy.Present()
+	default:
+		return policy.Any()
+	}
+}
+
+// authzIntentions translates a service's AuthzRule list into policy
+// intentions: wildcard source tenant (AuthzRule predates tenancy), exact
+// destination, precedence zero — under which the compiled winner selection
+// (deny beats allow, then installation order) reproduces Authorize exactly.
+func authzIntentions(service string, rules []AuthzRule) []policy.Intention {
+	out := make([]policy.Intention, 0, len(rules))
+	for i, a := range rules {
+		in := policy.Intention{
+			ID:     fmt.Sprintf("%s/authz/%d", service, i),
+			Name:   a.Name,
+			Src:    matchToPolicy(a.SourceService),
+			Dst:    policy.Exact(service),
+			Method: matchToPolicy(a.Method),
+			Path:   matchToPolicy(a.Path),
+			Action: policy.ActionAllow,
+		}
+		if a.Action == AuthzDeny {
+			in.Action = policy.ActionDeny
+		}
+		out = append(out, in)
+	}
+	return out
 }
 
 // Configure installs (or replaces) a service's configuration.
@@ -136,17 +192,35 @@ func (e *Engine) Configure(cfg ServiceConfig) error {
 	if cfg.ServiceRateLimit != nil {
 		st.svcLimiter = NewTokenBucket(cfg.ServiceRateLimit.RPS, cfg.ServiceRateLimit.Burst)
 	}
+	intents := authzIntentions(cfg.Service, st.cfg.Authz)
+	st.authzIDs = make([]string, len(intents))
+	for i := range intents {
+		st.authzIDs[i] = intents[i].ID
+	}
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	var prevIDs []string
+	if prev, ok := e.services[cfg.Service]; ok {
+		prevIDs = prev.authzIDs
+	}
+	// One atomic delta: the service's old intentions out, the new ones in.
+	// Only the touched dispatch buckets recompile.
+	if _, err := e.policy.Apply(prevIDs, intents); err != nil {
+		return err
+	}
 	e.services[cfg.Service] = st
-	e.mu.Unlock()
 	return nil
 }
 
 // Remove deletes a service's configuration.
 func (e *Engine) Remove(service string) {
 	e.mu.Lock()
-	delete(e.services, service)
-	e.mu.Unlock()
+	defer e.mu.Unlock()
+	if st, ok := e.services[service]; ok {
+		// Delete-only Apply cannot fail: nothing to compile.
+		_, _ = e.policy.Apply(st.authzIDs, nil)
+		delete(e.services, service)
+	}
 }
 
 // Services returns configured service names, sorted.
@@ -190,9 +264,19 @@ func (e *Engine) Route(now time.Duration, r *Request) (Decision, error) {
 		return Decision{}, &DecisionError{Status: StatusUnavailable, Reason: "no route configuration for service " + r.Service}
 	}
 
-	if allowed, reason := Authorize(st.cfg.Authz, r); !allowed {
+	// Authorization is a compiled-table lookup: O(candidate bucket), not
+	// O(installed rules). Semantics match Authorize over this service's
+	// AuthzRule list exactly (authzIntentions pins the translation).
+	if v := e.policy.Eval(policy.Query{
+		SrcTenant:  r.Tenant,
+		SrcService: r.SourceService,
+		DstService: r.Service,
+		Method:     r.Method,
+		Path:       r.Path,
+		Headers:    r.Headers,
+	}); !v.Allowed {
 		//canal:allow hotpath reject path: one error allocation for a request that is already failed
-		return Decision{DenyReason: reason}, &DecisionError{Status: StatusForbidden, Reason: reason}
+		return Decision{DenyReason: v.Reason}, &DecisionError{Status: StatusForbidden, Reason: v.Reason}
 	}
 
 	if st.svcLimiter != nil && !st.svcLimiter.Allow(now) {

@@ -27,6 +27,7 @@ var simScopeDirs = []string{
 	"internal/keyserver",
 	"internal/trace",
 	"internal/configpush",
+	"internal/policy",
 }
 
 // inSimScope reports whether the package directory is simulation-facing.

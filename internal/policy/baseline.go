@@ -1,0 +1,77 @@
+package policy
+
+// Baseline is the uncompiled reference engine: one flat rule list scanned
+// linearly per lookup, with semantics identical to the compiled Table. It
+// is the oracle the compiled engine is differentially tested against, and
+// the O(total rules) baseline the policy-scale experiment measures the
+// dispatch table's flat lookup cost against.
+type Baseline struct {
+	rules       []*compiled
+	allowByDst  map[string]int
+	allowAnyDst int
+}
+
+// NewBaseline builds the reference engine from an intention list. Order in
+// the list is installation order (the same-precedence tie break).
+func NewBaseline(intents []Intention) (*Baseline, error) {
+	b := &Baseline{allowByDst: make(map[string]int)}
+	for i, in := range intents {
+		cc, err := prepare(in)
+		if err != nil {
+			return nil, err
+		}
+		cc.order = i
+		b.rules = append(b.rules, cc)
+		if cc.in.Action == ActionAllow {
+			if cc.key.d == wild {
+				b.allowAnyDst++
+			} else {
+				b.allowByDst[cc.key.d]++
+			}
+		}
+	}
+	return b, nil
+}
+
+// fullMatch evaluates a rule against a query with no bucket-key shortcuts:
+// the exact dimensions the dispatch table proves by key placement are
+// compared explicitly here.
+func fullMatch(cc *compiled, q *Query) bool {
+	if cc.key.t != wild && cc.key.t != q.SrcTenant {
+		return false
+	}
+	if !cc.srcPred && cc.key.s != wild && cc.key.s != q.SrcService {
+		return false
+	}
+	if !cc.dstPred && cc.key.d != wild && cc.key.d != q.DstService {
+		return false
+	}
+	return cc.matches(q)
+}
+
+// Eval scans every rule and applies the same winner selection and
+// zero-trust default as the compiled table.
+func (b *Baseline) Eval(q Query) Verdict {
+	var best *compiled
+	for _, cc := range b.rules {
+		if best != nil && !cc.beats(best) {
+			continue
+		}
+		if fullMatch(cc, &q) {
+			best = cc
+		}
+	}
+	if best != nil {
+		if best.in.Action == ActionDeny {
+			return Verdict{Rule: best.in.Name, Reason: best.denyReason}
+		}
+		return Verdict{Allowed: true, Rule: best.in.Name}
+	}
+	if b.allowAnyDst > 0 || b.allowByDst[q.DstService] > 0 {
+		return Verdict{Reason: defaultDenyReason}
+	}
+	return Verdict{Allowed: true}
+}
+
+// Len returns the rule count.
+func (b *Baseline) Len() int { return len(b.rules) }

@@ -47,6 +47,12 @@ go run ./cmd/canalsim config-churn -nodes 60 -services 10 -pods 6 -rolling 3 -wi
     -json /tmp/canal-configpush.json >/dev/null
 test -s /tmp/canal-configpush.json
 
+# Smoke the policy-scale sweep end to end at a reduced scale: the dispatch
+# table must render with stable fingerprints and the JSON report must
+# export with the churn section.
+go run ./cmd/canalsim policy-scale -max-rules 10000 -json /tmp/canal-policy.json >/dev/null
+test -s /tmp/canal-policy.json
+
 # Parallel-vs-serial equivalence smoke: the benchmark runner must emit
 # byte-identical stdout regardless of the parallelism level (timing and
 # diagnostics go to stderr), and the timing report must export. A fast
