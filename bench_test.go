@@ -87,6 +87,10 @@ func BenchmarkPolicyScale(b *testing.B) {
 	run(b, func() bench.Result { return bench.PolicyScale(context.Background()) })
 }
 
+func BenchmarkFederation(b *testing.B) {
+	run(b, func() bench.Result { return bench.FedEvac(context.Background()) })
+}
+
 func BenchmarkFig16NoisyNeighbor(b *testing.B) {
 	run(b, func() bench.Result { return bench.Fig16NoisyNeighbor() })
 }

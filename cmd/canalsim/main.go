@@ -9,12 +9,14 @@
 //	canalsim trace            # per-hop latency breakdown from distributed traces
 //	canalsim config-churn     # delta vs full config push under region-scale churn
 //	canalsim policy-scale     # compiled intention dispatch tables, 10^3 -> 10^6 rules
+//	canalsim federation       # region evacuation spillover + partitioned-region split-brain
 //
-// The trace, config-churn, and policy-scale scenarios take flags:
+// The trace, config-churn, policy-scale, and federation scenarios take flags:
 //
 //	canalsim trace -arch canal -arch istio -requests 200 -seed 42 -json out.json
 //	canalsim config-churn -nodes 1000 -services 60 -pods 25 -window 90s -debounce 2s -seed 42 -json BENCH_configpush.json
 //	canalsim policy-scale -max-rules 1000000 -queries 4096 -batch 64 -seed 42 -json BENCH_policy.json
+//	canalsim federation -regions 3 -heartbeat 1s -fail-after 3 -seed 7 -json BENCH_federation.json
 package main
 
 import (
@@ -39,7 +41,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd|trace|config-churn|policy-scale>")
+		fmt.Println("usage: canalsim <noisy-neighbor|failover|attack|scatter|flash-crowd|trace|config-churn|policy-scale|federation>")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -59,6 +61,8 @@ func main() {
 		configChurnCmd(os.Args[2:])
 	case "policy-scale":
 		policyScaleCmd(os.Args[2:])
+	case "federation":
+		federationCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "canalsim: unknown scenario %q\n", os.Args[1])
 		os.Exit(2)
@@ -141,6 +145,39 @@ func policyScaleCmd(args []string) {
 		fmt.Printf("lookup flatness %.2fx across the sweep (linear baseline grew %.0fx to %d rules); incremental recompile %.0fx cheaper than full\n",
 			rep.FlatnessRatio, rep.BaselineGrowth, rep.BaselineCap, rep.IncrementalSpeedup)
 	}
+	if *jsonPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "canalsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
+	}
+}
+
+// federationCmd runs both multi-region federation experiments — the
+// region-evacuation spillover grid and the partitioned-region split-brain
+// timeline — printing their tables and optionally exporting the combined
+// JSON report (the BENCH_federation.json artifact).
+func federationCmd(args []string) {
+	fs := flag.NewFlagSet("federation", flag.ExitOnError)
+	spec := bench.DefaultFederationSpec()
+	fs.IntVar(&spec.Regions, "regions", spec.Regions, "regions in the evacuation federation")
+	fs.IntVar(&spec.BackendsPerRegion, "backends", spec.BackendsPerRegion, "gateway backends per region")
+	fs.DurationVar(&spec.Heartbeat, "heartbeat", spec.Heartbeat, "peering keepalive / export-refresh interval")
+	fs.IntVar(&spec.FailAfter, "fail-after", spec.FailAfter, "missed heartbeats before a peering is down")
+	fs.Float64Var(&spec.SpillGate, "spill-gate", spec.SpillGate, "local-health threshold below which spillover engages")
+	fs.Int64Var(&spec.Seed, "seed", spec.Seed, "simulation seed")
+	jsonPath := fs.String("json", "", "write the JSON report to this file")
+	fs.Parse(args)
+	evac, split, rep := bench.FederationResult(context.Background(), spec)
+	fmt.Print(evac.String())
+	fmt.Println()
+	fmt.Print(split.String())
 	if *jsonPath != "" {
 		data, err := rep.JSON()
 		if err != nil {

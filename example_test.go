@@ -67,10 +67,10 @@ func ExampleNewScenario() {
 		log.Fatal(err)
 	}
 	stats := svc.Drive(canal.Constant(100).From("az1").For(20 * time.Second))
-	if err := sc.FailAZ("az1", 5*time.Second); err != nil {
+	if err := sc.Inject(canal.AZDown("az1"), 5*time.Second); err != nil {
 		log.Fatal(err)
 	}
-	if err := sc.RecoverAZ("az1", 15*time.Second); err != nil {
+	if err := sc.Inject(canal.AZRecover("az1"), 15*time.Second); err != nil {
 		log.Fatal(err)
 	}
 	sc.RunFor(22 * time.Second)

@@ -185,6 +185,8 @@ func All() []Experiment {
 		{"fig15", "Southbound bandwidth overhead", bare(func() Result { return Fig15SouthboundBandwidth() })},
 		{"configpush", "Delta vs full config push under region-scale churn", func(ctx context.Context) Result { return ConfigChurn(ctx) }},
 		{"policy", "Compiled intention dispatch tables at scale", func(ctx context.Context) Result { return PolicyScale(ctx) }},
+		{"fed-evac", "Region evacuation: WAN spillover vs no federation", func(ctx context.Context) Result { return FedEvac(ctx) }},
+		{"fed-split", "Partitioned region: split-brain window and resync", func(ctx context.Context) Result { return FedSplit(ctx) }},
 		{"fig16", "Noisy neighbor isolation", bare(func() Result { return Fig16NoisyNeighbor() })},
 		{"admission", "Flash crowd with admission control off vs on", bare(func() Result { return AdmissionFlashCrowd() })},
 		{"fig17", "CDF of completion time of Reuse and New", func(ctx context.Context) Result { return Fig17ScalingCDF(ctx) }},

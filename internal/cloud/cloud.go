@@ -136,6 +136,41 @@ func (az *AZ) RecoverAZ() {
 	}
 }
 
+// FailRegion fails every VM in every zone — a region evacuation or
+// region-wide power event. The federation layer reads the resulting alive
+// fraction to gate cross-region spillover.
+func (r *Region) FailRegion() {
+	for _, az := range r.AZs {
+		az.FailAZ()
+	}
+}
+
+// RecoverRegion recovers every VM in every zone.
+func (r *Region) RecoverRegion() {
+	for _, az := range r.AZs {
+		az.RecoverAZ()
+	}
+}
+
+// AliveFraction returns the fraction of the region's VMs currently alive
+// (1 for an empty region, so a region with no provisioned capacity does not
+// read as failed).
+func (r *Region) AliveFraction() float64 {
+	total, alive := 0, 0
+	for _, az := range r.AZs {
+		for _, vm := range az.vms {
+			total++
+			if !vm.Failed() {
+				alive++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(alive) / float64(total)
+}
+
 // Tenant is a cloud customer owning one VPC. VPC address spaces are private
 // and MAY overlap between tenants — the reason the mesh gateway cannot
 // distinguish tenants by inner IP alone (§4.2).

@@ -16,6 +16,13 @@ import (
 type Config struct {
 	Sim     *sim.Sim
 	Cluster *cluster.Cluster
+	// Resources, when set, replaces the cluster-derived resource build: each
+	// snapshot materializes exactly what the callback returns (the policy
+	// compiler's buckets are still appended). This is how non-cluster
+	// publishers — the federation layer exporting a region's services over a
+	// peering stream — reuse the delta/session machinery; with Resources set,
+	// Cluster may be nil and the publisher drives flushes via Notify.
+	Resources func() []Resource
 	// Sizing prices resource, framing, and resync bytes and the build CPU /
 	// southbound bandwidth the pushes consume.
 	Sizing controlplane.Sizing
@@ -103,8 +110,11 @@ type retiredStats struct {
 // added with Subscribe or SubscribeModel; nothing is pushed until events
 // arrive (or sessions bootstrap at the first flush).
 func New(cfg Config) *Distributor {
-	if cfg.Sim == nil || cfg.Cluster == nil {
-		panic("configpush: Config.Sim and Config.Cluster are required")
+	if cfg.Sim == nil {
+		panic("configpush: Config.Sim is required")
+	}
+	if cfg.Cluster == nil && cfg.Resources == nil {
+		panic("configpush: one of Config.Cluster or Config.Resources is required")
 	}
 	if cfg.Retain <= 0 {
 		cfg.Retain = 8
@@ -131,7 +141,9 @@ func New(cfg Config) *Distributor {
 		payloadCache: make(map[string]Payload),
 		records:      make(map[uint64]*versionRecord),
 	}
-	cfg.Cluster.Watch(d.onEvent)
+	if cfg.Cluster != nil {
+		cfg.Cluster.Watch(d.onEvent)
+	}
 	return d
 }
 
@@ -175,11 +187,12 @@ func (d *Distributor) onEvent(e cluster.Event) {
 	d.schedule()
 }
 
-// PolicyChanged notifies the distributor that the policy compiler's
-// intention set moved. It behaves like any other API event: the change
-// coalesces into the debounce window and ships in the next flush as the
-// delta of touched dispatch buckets.
-func (d *Distributor) PolicyChanged() {
+// Notify tells the distributor its source of truth moved without a cluster
+// event: the next snapshotResources call will observe the change. It behaves
+// like any other API event — the change coalesces into the debounce window
+// and ships in the next flush as a delta. Publishers using Config.Resources
+// (the federation export streams) drive every flush through it.
+func (d *Distributor) Notify() {
 	d.events++
 	if !d.haveWork {
 		d.haveWork = true
@@ -188,11 +201,22 @@ func (d *Distributor) PolicyChanged() {
 	d.schedule()
 }
 
+// PolicyChanged notifies the distributor that the policy compiler's
+// intention set moved; it ships in the next flush as the delta of touched
+// dispatch buckets.
+func (d *Distributor) PolicyChanged() { d.Notify() }
+
 // snapshotResources materializes the full resource set for one snapshot:
-// the cluster's endpoints/identities/rule sets plus, when a policy compiler
-// is attached, one content-addressed resource per compiled dispatch bucket.
+// the cluster's endpoints/identities/rule sets (or the Resources callback's
+// set when one is installed) plus, when a policy compiler is attached, one
+// content-addressed resource per compiled dispatch bucket.
 func (d *Distributor) snapshotResources() []Resource {
-	out := buildResources(d.cfg.Cluster, d.cfg.Sizing, d.routeRev)
+	var out []Resource
+	if d.cfg.Resources != nil {
+		out = d.cfg.Resources()
+	} else {
+		out = buildResources(d.cfg.Cluster, d.cfg.Sizing, d.routeRev)
+	}
 	if d.cfg.Policy != nil {
 		for _, br := range d.cfg.Policy.Resources() {
 			out = append(out, Resource{

@@ -49,6 +49,17 @@ func (s *Snapshot) Resource(key string) (Resource, bool) {
 	return r, ok
 }
 
+// Resources returns the snapshot's resources in key order — the
+// deterministic iteration importers (the federation layer's peer views)
+// rebuild their local state from.
+func (s *Snapshot) Resources() []Resource {
+	out := make([]Resource, 0, len(s.keys))
+	for _, k := range s.keys {
+		out = append(out, s.resources[k])
+	}
+	return out
+}
+
 // scopeBytes sums the serialized size of the scope's matching resources —
 // the payload of a full sync at this snapshot.
 func (s *Snapshot) scopeBytes(sc Scope) int64 {

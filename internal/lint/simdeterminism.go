@@ -28,6 +28,7 @@ var simScopeDirs = []string{
 	"internal/trace",
 	"internal/configpush",
 	"internal/policy",
+	"internal/federation",
 }
 
 // inSimScope reports whether the package directory is simulation-facing.

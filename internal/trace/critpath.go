@@ -19,14 +19,18 @@ type HopStat struct {
 	Queue  time.Duration `json:"queue"`
 	CPU    time.Duration `json:"cpu"`
 	Crypto time.Duration `json:"crypto"`
+	// WAN is inter-region peering-link time, attributed separately from Net
+	// so cross-region spillover shows up as its own critical-path segment.
+	WAN time.Duration `json:"wan,omitempty"`
 }
 
-// Mean returns the mean total contribution of this hop (net + queue + cpu).
+// Mean returns the mean total contribution of this hop
+// (net + queue + cpu + wan).
 func (h HopStat) Mean() time.Duration {
 	if h.Count == 0 {
 		return 0
 	}
-	return (h.Net + h.Queue + h.CPU) / time.Duration(h.Count)
+	return (h.Net + h.Queue + h.CPU + h.WAN) / time.Duration(h.Count)
 }
 
 // Breakdown is the critical-path dissection of a set of traces: an ordered
@@ -61,12 +65,13 @@ func Analyze(traces []*Trace) *Breakdown {
 		for i, sp := range t.Hops() {
 			st := b.hop(i, sp.Name)
 			st.Count++
-			if sp.Net == 0 && sp.Queue == 0 && sp.CPU == 0 {
+			if sp.Net == 0 && sp.Queue == 0 && sp.CPU == 0 && sp.WAN == 0 {
 				st.Net += sp.End - sp.Start
 			} else {
 				st.Net += sp.Net
 				st.Queue += sp.Queue
 				st.CPU += sp.CPU
+				st.WAN += sp.WAN
 			}
 			st.Crypto += sp.Crypto
 		}
@@ -100,8 +105,8 @@ func (b *Breakdown) MeanTotal() time.Duration {
 }
 
 // HopSum returns the mean per-trace sum of all hop contributions
-// (net + queue + cpu). For exhaustive instrumentation it equals MeanTotal
-// up to integer division, which is exactly the reconciliation the
+// (net + queue + cpu + wan). For exhaustive instrumentation it equals
+// MeanTotal up to integer division, which is exactly the reconciliation the
 // acceptance table asserts.
 func (b *Breakdown) HopSum() time.Duration {
 	if b.Traces == 0 {
@@ -109,9 +114,23 @@ func (b *Breakdown) HopSum() time.Duration {
 	}
 	var sum time.Duration
 	for _, h := range b.Hops {
-		sum += h.Net + h.Queue + h.CPU
+		sum += h.Net + h.Queue + h.CPU + h.WAN
 	}
 	return sum / time.Duration(b.Traces)
+}
+
+// WANShare returns the fraction of total attributed time spent on
+// inter-region links, 0 when nothing crossed a region boundary.
+func (b *Breakdown) WANShare() float64 {
+	var wan, sum time.Duration
+	for _, h := range b.Hops {
+		wan += h.WAN
+		sum += h.Net + h.Queue + h.CPU + h.WAN
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(wan) / float64(sum)
 }
 
 // CriticalPath returns a trace's hop spans ordered by start time (stable on

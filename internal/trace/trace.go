@@ -93,6 +93,10 @@ type Span struct {
 	// Crypto is the share of CPU spent on symmetric/asymmetric crypto, so
 	// crypto hops are attributable separately from proxy logic.
 	Crypto time.Duration `json:"crypto,omitempty"`
+	// WAN is wall-clock spent crossing an inter-region peering link. It is
+	// kept apart from Net so the critical-path analyzer can attribute the
+	// cost of cross-region spillover as its own segment.
+	WAN time.Duration `json:"wan,omitempty"`
 }
 
 // Hop carries the attribution of one request hop into Trace.AddHop.
@@ -104,6 +108,7 @@ type Hop struct {
 	Queue  time.Duration
 	CPU    time.Duration
 	Crypto time.Duration
+	WAN    time.Duration
 }
 
 // Trace is the span tree of one end-to-end request: Spans[0] is the root,
@@ -144,6 +149,7 @@ func (t *Trace) AddHop(h Hop) SpanID {
 		Queue:  h.Queue,
 		CPU:    h.CPU,
 		Crypto: h.Crypto,
+		WAN:    h.WAN,
 	})
 	return id
 }

@@ -59,10 +59,10 @@ func TestScenarioAZFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := svc.Drive(Constant(200).From("az1").For(30 * time.Second))
-	if err := sc.FailAZ("az1", 10*time.Second); err != nil {
+	if err := sc.Inject(AZDown("az1"), 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.RecoverAZ("az1", 20*time.Second); err != nil {
+	if err := sc.Inject(AZRecover("az1"), 20*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	sc.RunFor(32 * time.Second)
@@ -74,8 +74,14 @@ func TestScenarioAZFailover(t *testing.T) {
 	if frac := float64(stats.Count(200)) / float64(total); frac < 0.99 {
 		t.Errorf("success fraction %.3f; hierarchical failover should absorb the AZ outage", frac)
 	}
-	if err := sc.FailAZ("nope", 0); err == nil {
+	if err := sc.Inject(AZDown("nope"), 0); err == nil {
 		t.Error("unknown AZ should error")
+	}
+	if err := sc.Inject(Fault{}, 0); err == nil {
+		t.Error("empty fault should error")
+	}
+	if err := sc.Inject(RegionPartition("region-1", "region-2"), 0); err == nil {
+		t.Error("partition in a single-region scenario should error")
 	}
 }
 
@@ -152,35 +158,106 @@ func TestScenarioAttackSandboxed(t *testing.T) {
 	}
 }
 
-func TestScenarioDeprecatedDriveWrappers(t *testing.T) {
-	// The pre-TrafficPattern entry points must keep working until removal
+func TestScenarioDeprecatedFaultWrappers(t *testing.T) {
+	// The pre-Inject fault entry points must keep working until removal
 	// (see DESIGN.md's deprecation policy).
-	sc := newScenario(t, ScenarioConfig{Seed: 1})
+	sc := newScenario(t, ScenarioConfig{Seed: 3})
 	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1 := svc.DriveConstant("az1", 100, 5*time.Second)                                   //canal:allow deprecated this test IS the wrapper compatibility check
-	s2 := svc.DriveSpike("az1", 10, 100, time.Second, 2*time.Second, 5*time.Second)      //canal:allow deprecated this test IS the wrapper compatibility check
-	s3 := svc.DriveRate("az1", func(time.Duration) float64 { return 50 }, 5*time.Second) //canal:allow deprecated this test IS the wrapper compatibility check
-	sc.RunFor(7 * time.Second)
-	for i, st := range []*TrafficStats{s1, s2, s3} {
-		if st.Count(200) == 0 {
-			t.Errorf("wrapper %d drove no traffic", i+1)
-		}
+	stats := svc.Drive(Constant(100).From("az1").For(20 * time.Second))
+	if err := sc.FailAZ("az1", 5*time.Second); err != nil { //canal:allow deprecated this test IS the wrapper compatibility check
+		t.Fatal(err)
 	}
-	// The deprecated per-metric accessors must agree with Stats().
-	if sc.ScalingOps() != sc.Stats().ScalingOps { //canal:allow deprecated this test IS the accessor compatibility check
-		t.Error("ScalingOps disagrees with Stats()")
+	if err := sc.RecoverAZ("az1", 15*time.Second); err != nil { //canal:allow deprecated this test IS the wrapper compatibility check
+		t.Fatal(err)
 	}
-	if sc.AdmissionSheds() != sc.Stats().AdmissionSheds { //canal:allow deprecated this test IS the accessor compatibility check
-		t.Error("AdmissionSheds disagrees with Stats()")
+	sc.RunFor(22 * time.Second)
+	total := stats.Count(200) + stats.Count(503)
+	if total == 0 || float64(stats.Count(200))/float64(total) < 0.99 {
+		t.Errorf("wrapper-injected AZ outage not absorbed: %d/%d ok", stats.Count(200), total)
 	}
-	if sc.AdmissionFairness() != sc.Stats().AdmissionFairness { //canal:allow deprecated this test IS the accessor compatibility check
-		t.Error("AdmissionFairness disagrees with Stats()")
+	// The wrappers share Inject's immediate validation.
+	if err := sc.FailAZ("nope", 0); err == nil { //canal:allow deprecated this test IS the wrapper compatibility check
+		t.Error("unknown AZ should error")
 	}
-	if len(sc.Interventions()) != len(sc.Stats().Interventions) { //canal:allow deprecated this test IS the accessor compatibility check
-		t.Error("Interventions disagrees with Stats()")
+}
+
+func TestScenarioMultiRegionSpillover(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 7, Regions: []RegionConfig{
+		{Name: "us-east"}, {Name: "eu-west"},
+	}})
+	if sc.Region("us-east") == nil || sc.Region("eu-west") == nil || sc.Region("nope") != nil {
+		t.Fatal("region handles wrong")
+	}
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := svc.Drive(Constant(100).FromRegion("us-east").For(30 * time.Second))
+	if err := sc.Inject(RegionEvacuation("us-east"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Inject(RegionRestore("us-east"), 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sc.RunFor(32 * time.Second)
+
+	total := stats.Count(200) + stats.Count(503)
+	if total == 0 {
+		t.Fatal("no traffic")
+	}
+	// WAN spillover keeps the evacuated region's ingress available.
+	if frac := float64(stats.Count(200)) / float64(total); frac < 0.99 {
+		t.Errorf("success fraction %.3f; spillover should absorb the region outage", frac)
+	}
+	us := sc.Region("us-east").Routing()
+	if us.Spilled == 0 || us.Local == 0 {
+		t.Errorf("us-east routing %+v: want both local serves and WAN spills", us)
+	}
+	if us.Unserved != 0 {
+		t.Errorf("us-east routing %+v: nothing should go unserved with a healthy peer", us)
+	}
+}
+
+func TestScenarioRegionPartition(t *testing.T) {
+	sc := newScenario(t, ScenarioConfig{Seed: 8, Regions: []RegionConfig{
+		{Name: "us-east"}, {Name: "eu-west"},
+	}})
+	svc, err := sc.RegisterService("acme", "web", 100, "192.168.0.10", ServiceConfig{DefaultSubset: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Inject(RegionPartition("us-east", "nope"), 0); err == nil {
+		t.Error("unknown region in partition should error")
+	}
+	stats := svc.Drive(Constant(100).FromRegion("us-east").For(25 * time.Second))
+	// Evacuate the ingress region so it depends on the peer, then cut the
+	// WAN link and heal it later.
+	if err := sc.Inject(RegionEvacuation("us-east"), 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Inject(RegionPartition("us-east", "eu-west"), 6*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Inject(RegionHeal("us-east", "eu-west"), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sc.RunFor(28 * time.Second)
+
+	us := sc.Region("us-east").Routing()
+	if us.SpillLost == 0 {
+		t.Errorf("routing %+v: the undetected partition window should blackhole spills", us)
+	}
+	if us.Unserved == 0 {
+		t.Errorf("routing %+v: the detected partition should leave requests unserved", us)
+	}
+	if us.Spilled == 0 {
+		t.Errorf("routing %+v: spillover should work before the cut and after the heal", us)
+	}
+	if stats.Count(503) == 0 || stats.Count(200) == 0 {
+		t.Errorf("status mix %d ok / %d unavailable: want both phases visible", stats.Count(200), stats.Count(503))
 	}
 }
 

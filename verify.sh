@@ -53,6 +53,13 @@ test -s /tmp/canal-configpush.json
 go run ./cmd/canalsim policy-scale -max-rules 10000 -json /tmp/canal-policy.json >/dev/null
 test -s /tmp/canal-policy.json
 
+# Smoke the multi-region federation experiments end to end at a reduced
+# scale: the evacuation and split-brain tables must render and the JSON
+# report must export with both sections.
+go run ./cmd/canalsim federation -regions 2 -backends 3 \
+    -json /tmp/canal-federation.json >/dev/null
+test -s /tmp/canal-federation.json
+
 # Parallel-vs-serial equivalence smoke: the benchmark runner must emit
 # byte-identical stdout regardless of the parallelism level (timing and
 # diagnostics go to stderr), and the timing report must export. A fast
