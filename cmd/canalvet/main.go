@@ -2,9 +2,11 @@
 // over the module. The suite type-checks the whole module from source —
 // stdlib included — so beyond the syntax-level analyzers (simulation
 // determinism, map-iteration order, atomic/plain mixing, lock discipline,
-// dropped errors) it runs the type-aware ones: unit-safe duration
-// arithmetic, context threading, deprecation policing, and
-// goroutine/channel leak detection.
+// dropped errors) it runs the type-aware ones (unit-safe duration
+// arithmetic, context threading, deprecation policing, goroutine/channel
+// leak detection), the call-graph trio (hotpath, lockorder,
+// transdeterminism), and the taint trio that proves tenant isolation on
+// the request path (tenantflow, sharedmut, poolbleed).
 //
 // Usage:
 //
@@ -14,16 +16,33 @@
 //	canalvet -fix ./...       # apply suggested fixes (gofmt-clean, refuses overlaps)
 //	canalvet -json - ./...    # machine-readable diagnostics on stdout
 //	canalvet -json out.json -stale-as-error ./...
+//	canalvet -only tenantflow,sharedmut,poolbleed ./...   # run a named subset
+//	canalvet -runs 2 -json out.json ./...   # repeat the analysis, prove determinism
+//	canalvet -timings -json - ./...         # include per-phase wall time in the JSON
 //	canalvet -callgraph '(*Engine).Route'   # dump one function's call-graph node
+//	canalvet -taint 'startTrace'            # dump one function's taint summary
 //
 // Intentional violations are suppressed inline with a justified directive:
 //
 //	//canal:allow <analyzer> <reason...>
 //
+// and audited isolation points are declared with
+//
+//	//canal:boundary <reason...>
+//
 // canalvet exits 1 when any real diagnostic survives — including malformed
 // directives — so it can gate verify.sh and CI. Stale directives (ones
 // that suppress nothing) are always reported with their rotting reason
 // text, but only count toward the exit code under -stale-as-error.
+//
+// -runs N repeats the load+analyze cycle N times inside one process. The
+// session cache (internal/lint.Session) reuses the parsed, type-checked
+// module when no source changed, so runs after the first pay only for the
+// analysis itself; the call graph and taint engine are rebuilt every run
+// so the determinism comparison is non-vacuous. Each run's diagnostics are
+// compared against the first and any divergence exits 2; with -json the
+// extra runs land beside the first file as <path>.run2, <path>.run3, …
+// for external cmp gates.
 package main
 
 import (
@@ -31,6 +50,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"canalmesh/internal/lint"
 )
@@ -46,13 +68,32 @@ type jsonDiag struct {
 	Fix      *lint.SuggestedFix `json:"suggestedFix,omitempty"`
 }
 
+// jsonPhase is one timed phase of a run, emitted under -timings.
+type jsonPhase struct {
+	Phase  string  `json:"phase"`
+	Millis float64 `json:"ms"`
+	Reused bool    `json:"reused,omitempty"`
+}
+
+// jsonReport is the -json document: the diagnostics, plus per-phase wall
+// time when -timings is set. Without -timings the phases key is omitted
+// entirely so repeated runs stay byte-comparable with cmp.
+type jsonReport struct {
+	Phases      []jsonPhase `json:"phases,omitempty"`
+	Diagnostics []jsonDiag  `json:"diagnostics"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	root := flag.String("root", ".", "directory inside the module to lint")
 	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
 	jsonOut := flag.String("json", "", "write diagnostics as JSON to this file (\"-\" for stdout)")
 	staleAsError := flag.Bool("stale-as-error", false, "count stale //canal:allow directives toward the exit code")
+	only := flag.String("only", "", "comma-separated analyzer names to run instead of the full suite")
+	runs := flag.Int("runs", 1, "repeat the load+analyze cycle N times and require identical diagnostics")
+	timings := flag.Bool("timings", false, "report per-phase wall time (stderr, and in -json output)")
 	callgraph := flag.String("callgraph", "", "dump the call-graph node for a function (exact key or unique suffix) and exit")
+	taint := flag.String("taint", "", "dump the taint summary for a function (exact key or unique suffix) and exit")
 	flag.Parse()
 
 	if *list {
@@ -69,25 +110,75 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "canalvet: -runs must be at least 1")
+		os.Exit(2)
+	}
+	if *runs > 1 && *fix {
+		fmt.Fprintln(os.Stderr, "canalvet: -runs and -fix are mutually exclusive (-fix mutates the sources the rerun would hash)")
+		os.Exit(2)
+	}
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canalvet:", err)
+		os.Exit(2)
+	}
 
 	modRoot, err := lint.FindModuleRoot(*root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "canalvet:", err)
 		os.Exit(2)
 	}
-	pkgs, _, err := lint.LoadModule(modRoot)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "canalvet:", err)
-		os.Exit(2)
-	}
-	if *callgraph != "" {
-		os.Exit(dumpCallGraph(pkgs, *callgraph))
-	}
-	diags := lint.Run(pkgs, lint.Analyzers())
+	sess := lint.NewSession(modRoot)
 
-	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, diags); err != nil {
+	var diags []lint.Diagnostic
+	var firstRender string
+	for run := 1; run <= *runs; run++ {
+		loadStart := time.Now()
+		pkgs, reused, err := sess.Load()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "canalvet:", err)
+			os.Exit(2)
+		}
+		loadMS := msSince(loadStart)
+		if run == 1 {
+			if *callgraph != "" {
+				os.Exit(dumpCallGraph(pkgs, *callgraph))
+			}
+			if *taint != "" {
+				os.Exit(dumpTaint(pkgs, *taint))
+			}
+		}
+
+		analyzeStart := time.Now()
+		diags = lint.Run(pkgs, suite)
+		analyzeMS := msSince(analyzeStart)
+
+		var phases []jsonPhase
+		if *timings {
+			phases = []jsonPhase{
+				{Phase: "load", Millis: loadMS, Reused: reused},
+				{Phase: "analyze", Millis: analyzeMS},
+			}
+			fmt.Fprintf(os.Stderr, "canalvet: run %d: load %.1fms (reused=%v) analyze %.1fms\n",
+				run, loadMS, reused, analyzeMS)
+		}
+		if *jsonOut != "" {
+			path := *jsonOut
+			if run > 1 && path != "-" {
+				path = fmt.Sprintf("%s.run%d", path, run)
+			}
+			if err := writeJSON(path, phases, diags); err != nil {
+				fmt.Fprintln(os.Stderr, "canalvet:", err)
+				os.Exit(2)
+			}
+		}
+
+		render := renderDiags(diags)
+		if run == 1 {
+			firstRender = render
+		} else if render != firstRender {
+			fmt.Fprintf(os.Stderr, "canalvet: nondeterministic diagnostics: run %d differs from run 1\n--- run 1\n%s--- run %d\n%s", run, firstRender, run, render)
 			os.Exit(2)
 		}
 	}
@@ -132,13 +223,68 @@ func main() {
 	}
 }
 
+// selectAnalyzers resolves -only against the registered suite, preserving
+// suite order. An empty spec selects everything; an unknown name is an
+// error listing what exists.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if spec == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want[name] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown, known []string
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		for _, a := range all {
+			known = append(known, a.Name)
+		}
+		return nil, fmt.Errorf("-only names unknown analyzer(s) %s (have: %s)",
+			strings.Join(unknown, ", "), strings.Join(known, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return out, nil
+}
+
+// msSince is time.Since in float milliseconds, for the timing report.
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
+}
+
+// renderDiags is the canonical text form the -runs determinism gate
+// compares: exactly what the terminal report prints.
+func renderDiags(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	return b.String()
+}
+
 // dumpCallGraph type-checks the module, builds the interprocedural call
 // graph, and prints one node: its edges, behavior facts, lock sites, and
 // the full set of functions reachable from it. The output order is
 // deterministic (the graph guarantees sorted traversal), so dumps diff
 // cleanly between revisions.
 func dumpCallGraph(pkgs []*lint.Package, name string) int {
-	lint.TypeCheck(pkgs)
 	g := lint.BuildCallGraph(pkgs)
 	n := g.Lookup(name)
 	if n == nil {
@@ -183,12 +329,28 @@ func dumpCallGraph(pkgs []*lint.Package, name string) int {
 	return 0
 }
 
-// writeJSON renders diags in the stable -json shape. An empty diagnostic
-// list renders as [], not null, so consumers can always iterate.
-func writeJSON(path string, diags []lint.Diagnostic) error {
-	out := make([]jsonDiag, 0, len(diags))
+// dumpTaint builds the dataflow engine and prints one function's taint
+// summary: boundary status, sources seen in its body, which parameter
+// slots flow to its results, the sinks it (transitively) feeds, and the
+// package-level state it writes. This is the -taint debugging view for
+// asking "why did tenantflow fire here?".
+func dumpTaint(pkgs []*lint.Package, name string) int {
+	g := lint.BuildCallGraph(pkgs)
+	e := lint.BuildTaint(pkgs, g)
+	if !e.DumpSummary(os.Stdout, name) {
+		fmt.Fprintf(os.Stderr, "canalvet: no unique taint summary matches %q (try the full key, e.g. canalmesh.(*GatewayServer).startTrace)\n", name)
+		return 2
+	}
+	return 0
+}
+
+// writeJSON renders the report in the stable -json shape. An empty
+// diagnostic list renders as [], not null, so consumers can always
+// iterate.
+func writeJSON(path string, phases []jsonPhase, diags []lint.Diagnostic) error {
+	rep := jsonReport{Phases: phases, Diagnostics: make([]jsonDiag, 0, len(diags))}
 	for _, d := range diags {
-		out = append(out, jsonDiag{
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
 			File:     d.Pos.Filename,
 			Line:     d.Pos.Line,
 			Column:   d.Pos.Column,
@@ -198,7 +360,7 @@ func writeJSON(path string, diags []lint.Diagnostic) error {
 			Fix:      d.Fix,
 		})
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -232,21 +232,28 @@ func (g *GatewayServer) authenticate(r *http.Request, tenant string) (string, er
 }
 
 // startTrace joins the request's propagated W3C trace context when a valid
-// traceparent header is present, or starts a fresh trace otherwise.
+// traceparent header is present, or starts a fresh trace otherwise. The
+// trace is keyed by the requesting tenant: the collector is shared across
+// every tenant behind this gateway, and the span name carries request data
+// (method + path), so an unkeyed trace would leak one tenant's paths into
+// another tenant's exports.
 func (g *GatewayServer) startTrace(r *http.Request) *trace.Trace {
 	if g.tracer == nil {
 		return nil
 	}
+	tenant := r.Header.Get(HeaderTenant)
 	name := r.Method + " " + r.URL.Path
 	if id, parent, sampled, err := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); err == nil {
-		return g.tracer.StartRemote(id, parent, sampled, "gateway", name)
+		return g.tracer.StartRemoteTenant(id, parent, sampled, "gateway", tenant, name)
 	}
-	return g.tracer.Start("gateway", name)
+	return g.tracer.StartTenant("gateway", tenant, name)
 }
 
 // fail writes a local error response, stamping the trace ID header on it so
 // the caller can join the rejection to its trace, and logs the request. It
 // returns the status for the caller's trace bookkeeping.
+//
+//canal:boundary w is the requesting tenant's own ResponseWriter and the access log entry is keyed by the tenant argument
 func (g *GatewayServer) fail(w http.ResponseWriter, r *http.Request, tr *trace.Trace,
 	tenant, service, source string, status int, msg string, started time.Time) int {
 	if tr != nil {
@@ -580,7 +587,7 @@ func (a *NodeAgent) Do(method, service, path string, body io.Reader, headers map
 	req.Header.Set(HeaderSignature, base64.StdEncoding.EncodeToString(sig))
 	var tr *trace.Trace
 	if a.Tracer != nil && req.Header.Get(trace.TraceparentHeader) == "" {
-		tr = a.Tracer.Start("node-agent", method+" "+path)
+		tr = a.Tracer.StartTenant("node-agent", a.Tenant, method+" "+path)
 		req.Header.Set(trace.TraceparentHeader, trace.Traceparent(tr.ID, tr.Root().ID, tr.Sampled))
 	}
 	resp, err := a.Client.Do(req)

@@ -97,6 +97,82 @@ func TestApplyFixesDedupesIdenticalEdits(t *testing.T) {
 	}
 }
 
+// TestApplyFixesRefusesCrossAnalyzerOverlap pins the conflict policy when
+// the colliding fixes come from *different* analyzers: the refusal is
+// per-file and analyzer-blind. Two analyzers proposing different rewrites
+// of the same span is exactly the case where guessing an order would
+// silently apply one analyzer's opinion over the other's, so the file must
+// be left untouched and both fixes surfaced to a human.
+func TestApplyFixesRefusesCrossAnalyzerOverlap(t *testing.T) {
+	src := "package p\n\nvar value = 12345\n"
+	path := writeTempSource(t, src)
+	start := strings.Index(src, "12345")
+	a := diagWithEdit(path, start, start+5, "1")
+	a.Analyzer = "unitsafe"
+	b := diagWithEdit(path, start, start+5, "2")
+	b.Analyzer = "deprecated"
+	res, err := ApplyFixes([]Diagnostic{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Refused) != 1 || !strings.Contains(res.Refused[0], "overlapping") {
+		t.Fatalf("want one overlap refusal across analyzers, got %+v", res)
+	}
+	if res.Fixed[path] != 0 {
+		t.Fatalf("conflicting file reported as fixed: %+v", res)
+	}
+	if got := readBack(t, path); got != src {
+		t.Errorf("refused file was modified: %q", got)
+	}
+}
+
+// TestApplyFixesDedupesAcrossAnalyzers pins the complementary case: when
+// two analyzers propose the byte-identical edit (say, both want a stale
+// comment deleted), the edits collapse and apply once — analyzer identity
+// is not part of an edit, so agreement is not a conflict.
+func TestApplyFixesDedupesAcrossAnalyzers(t *testing.T) {
+	src := "package p\n\nvar a = 1 // stale\n"
+	path := writeTempSource(t, src)
+	start := strings.Index(src, " // stale")
+	a := diagWithEdit(path, start, start+len(" // stale"), "")
+	a.Analyzer = "directive"
+	b := diagWithEdit(path, start, start+len(" // stale"), "")
+	b.Analyzer = "deprecated"
+	res, err := ApplyFixes([]Diagnostic{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Refused) != 0 {
+		t.Fatalf("identical cross-analyzer edits refused: %+v", res)
+	}
+	if got := readBack(t, path); strings.Contains(got, "stale") {
+		t.Errorf("deletion not applied: %q", got)
+	}
+}
+
+// TestApplyFixesCrossAnalyzerDisjointSameFile proves the refusal really is
+// about byte overlap, not about two analyzers touching one file: disjoint
+// edits from different analyzers both land.
+func TestApplyFixesCrossAnalyzerDisjointSameFile(t *testing.T) {
+	src := "package p\n\nvar first = 1 // one\n\nvar second = 2 // two\n"
+	path := writeTempSource(t, src)
+	a := diagWithEdit(path, strings.Index(src, " // one"), strings.Index(src, " // one")+len(" // one"), "")
+	a.Analyzer = "unitsafe"
+	b := diagWithEdit(path, strings.Index(src, " // two"), strings.Index(src, " // two")+len(" // two"), "")
+	b.Analyzer = "deprecated"
+	res, err := ApplyFixes([]Diagnostic{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Refused) != 0 || res.Fixed[path] != 2 {
+		t.Fatalf("disjoint cross-analyzer edits did not both apply: %+v", res)
+	}
+	got := readBack(t, path)
+	if strings.Contains(got, "one") || strings.Contains(got, "two") {
+		t.Errorf("edits not applied: %q", got)
+	}
+}
+
 func TestApplyFixesRefusesUnparseableResult(t *testing.T) {
 	src := "package p\n\nvar a = 1\n"
 	path := writeTempSource(t, src)

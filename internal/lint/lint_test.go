@@ -247,15 +247,23 @@ func TestDirectivePipeline(t *testing.T) {
 // also delete its directives (stale ones already fail -stale-as-error).
 const selfHostDirectives = 79
 
+// selfHostBoundaries pins the module's //canal:boundary count the same way:
+// each one declares an audited isolation point the taint engine trusts, so
+// adding one is a reviewed security decision (currently just
+// GatewayServer.fail, which writes only the requesting tenant's own
+// ResponseWriter).
+const selfHostBoundaries = 1
+
 // TestSelfHost runs the full suite over this repository: the codebase must
 // stay canalvet-clean, with every intentional violation carrying a justified
 // //canal:allow. This is the regression gate for the typed engine too — all
-// twelve analyzers run with full type information over every package, any
-// type-check failure surfaces here as a "typecheck" diagnostic, and the
-// interprocedural three see the module-wide call graph.
+// fifteen analyzers run with full type information over every package, any
+// type-check failure surfaces here as a "typecheck" diagnostic, the
+// interprocedural three see the module-wide call graph, and the taint trio
+// sees the dataflow engine built on top of it.
 func TestSelfHost(t *testing.T) {
-	if n := len(Analyzers()); n != 12 {
-		t.Fatalf("suite has %d analyzers, want 12 (5 syntactic + 4 type-aware + 3 interprocedural)", n)
+	if n := len(Analyzers()); n != 15 {
+		t.Fatalf("suite has %d analyzers, want 15 (5 syntactic + 4 type-aware + 3 interprocedural + 3 taint)", n)
 	}
 	root, err := FindModuleRoot(".")
 	if err != nil {
@@ -282,11 +290,16 @@ func TestSelfHost(t *testing.T) {
 		}
 	}
 	total := 0
+	boundaries := 0
 	for _, p := range pkgs {
 		dirs, _ := ParseDirectives(p)
 		total += len(dirs)
+		boundaries += CountBoundaries(p)
 	}
 	if total != selfHostDirectives {
 		t.Errorf("module carries %d //canal:allow directives, want exactly %d; update selfHostDirectives only for a reviewed suppression", total, selfHostDirectives)
+	}
+	if boundaries != selfHostBoundaries {
+		t.Errorf("module carries %d //canal:boundary declarations, want exactly %d; update selfHostBoundaries only for a reviewed isolation audit", boundaries, selfHostBoundaries)
 	}
 }

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Session caches the expensive half of a canalvet invocation — parsing and
+// whole-module type-checking — across repeated analyzer runs (the -runs
+// determinism gate, -fix verification reruns). Validity is keyed by
+// per-directory source-content hashes: every analyzable directory's .go
+// files are hashed, and if any directory's digest changed since the last
+// Load, the whole module is reloaded and re-type-checked.
+//
+// Reuse is deliberately all-or-nothing at the module level even though the
+// key is per-directory: the engine shares one types.Info across every
+// package (typecheck.go), so type identity spans package boundaries and a
+// single stale directory would poison every summary built over it. The
+// per-directory hashing still pays for itself — it is what makes the cache
+// sound, and hashing is ~100x cheaper than type-checking.
+//
+// What the cache does NOT cover, by design: the call graph, the taint
+// engine, and analyzer findings are rebuilt fresh inside every Run. A
+// cached analysis result would make the -runs N determinism check vacuous —
+// the second run must recompute everything downstream of the parse to prove
+// byte-stability, not replay a memo.
+type Session struct {
+	root string
+	pkgs []*Package
+	hash string
+}
+
+// NewSession prepares a cache for repeated loads of the module at root.
+func NewSession(root string) *Session {
+	return &Session{root: root}
+}
+
+// Load returns the module's parsed, type-checked packages, reusing the
+// previous load when no source file changed. reused reports whether the
+// cache was hit.
+func (s *Session) Load() (pkgs []*Package, reused bool, err error) {
+	h, err := s.contentHash()
+	if err != nil {
+		return nil, false, err
+	}
+	if s.pkgs != nil && h == s.hash {
+		return s.pkgs, true, nil
+	}
+	pkgs, _, err = LoadModule(s.root)
+	if err != nil {
+		return nil, false, err
+	}
+	TypeCheck(pkgs)
+	s.pkgs, s.hash = pkgs, h
+	return pkgs, false, nil
+}
+
+// contentHash digests every analyzable directory: the sorted relative file
+// names and contents of its .go files, skipping the same directories and
+// files the loader does.
+func (s *Session) contentHash() (string, error) {
+	h := sha256.New()
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != s.root && skipDirName(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		io.WriteString(h, filepath.ToSlash(rel))
+		io.WriteString(h, "\x00")
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		io.WriteString(h, "\x00")
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// dirHashes returns each analyzable directory's own digest, sorted by
+// directory — the per-directory view of the cache key, used by tests and
+// the -timings diagnostics to show what changed.
+func (s *Session) dirHashes() (map[string]string, error) {
+	perDir := map[string][]string{}
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != s.root && skipDirName(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		perDir[filepath.ToSlash(rel)] = append(perDir[filepath.ToSlash(rel)], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(perDir))
+	for dir, files := range perDir {
+		sort.Strings(files)
+		h := sha256.New()
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			io.WriteString(h, filepath.Base(f))
+			io.WriteString(h, "\x00")
+			h.Write(data)
+			io.WriteString(h, "\x00")
+		}
+		out[dir] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out, nil
+}
+
+// skipDirName reports whether the loader (and therefore the session hash)
+// ignores a directory of this name.
+func skipDirName(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// copyTaintModule clones the taint fixture module into a temp dir so the
+// session tests can mutate sources without touching testdata.
+func copyTaintModule(t *testing.T) string {
+	t.Helper()
+	src := filepath.Join("testdata", "engine", "taint")
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestSessionReuse pins the cache contract: an unchanged tree is reused,
+// any source edit forces a full reload, and the reloaded packages are
+// fresh objects (not the stale type-check units).
+func TestSessionReuse(t *testing.T) {
+	root := copyTaintModule(t)
+	s := NewSession(root)
+
+	first, reused, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first load reported reused=true")
+	}
+	if len(first) == 0 || first[0].TypesInfo == nil {
+		t.Fatal("session load did not type-check the module")
+	}
+
+	second, reused, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Fatal("unchanged tree was not reused")
+	}
+	if len(second) != len(first) || second[0] != first[0] {
+		t.Fatal("reused load returned different package objects")
+	}
+
+	// Edit one file: the whole module must reload.
+	target := filepath.Join(root, "internal", "l7", "request.go")
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(target, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third, reused, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("edited tree was reported reused")
+	}
+	if len(third) > 0 && third[0] == first[0] {
+		t.Fatal("reload after an edit returned the stale package objects")
+	}
+}
+
+// TestSessionDirHashes pins the per-directory key granularity: editing one
+// file changes exactly that directory's digest.
+func TestSessionDirHashes(t *testing.T) {
+	root := copyTaintModule(t)
+	s := NewSession(root)
+	before, err := s.dirHashes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) < 4 {
+		t.Fatalf("expected hashes for the fixture's directories, got %d: %v", len(before), before)
+	}
+
+	target := filepath.Join(root, "internal", "state", "state.go")
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(target, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.dirHashes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for dir, h := range after {
+		if before[dir] != h {
+			changed++
+			if dir != "internal/state" {
+				t.Errorf("unexpected directory digest change: %s", dir)
+			}
+		}
+	}
+	if changed != 1 {
+		t.Errorf("edit changed %d directory digests, want exactly 1", changed)
+	}
+}

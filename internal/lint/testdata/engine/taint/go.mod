@@ -1,0 +1,3 @@
+module canalmesh
+
+go 1.23

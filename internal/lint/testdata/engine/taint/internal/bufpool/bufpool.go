@@ -1,0 +1,59 @@
+// Package bufpool is the poolbleed half of the taint fixture: every
+// recognized reset idiom keeps a Put quiet, and a dirty Put fires.
+package bufpool
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var slicePool = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
+var entryPool = sync.Pool{New: func() any { return new(Entry) }}
+var mapPool = sync.Pool{New: func() any { return map[string]string{} }}
+
+// Entry is a reusable per-request record.
+type Entry struct {
+	Tenant string
+	Body   []byte
+}
+
+// PutDirty returns the buffer still holding this request's bytes.
+func PutDirty(b *bytes.Buffer) {
+	bufPool.Put(b) // want "b is returned to the pool without a reset"
+}
+
+// PutReset is the correct shape: Reset before Put.
+func PutReset(b *bytes.Buffer) {
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// PutResliced truncates the slice to zero length before pooling it.
+func PutResliced(buf []byte) {
+	buf = buf[:0]
+	slicePool.Put(buf)
+}
+
+// PutZeroed zeroes the record with an empty composite before pooling.
+func PutZeroed(e *Entry) {
+	*e = Entry{}
+	entryPool.Put(e)
+}
+
+// PutCleared uses the clear builtin on a pooled map.
+func PutCleared(m map[string]string) {
+	clear(m)
+	mapPool.Put(m)
+}
+
+// PutFieldDirty pools a field without resetting it.
+func PutFieldDirty(e *Entry) {
+	entryPool.Put(e) // want "e is returned to the pool without a reset"
+}
+
+// PutFieldReset resets through a field path: the prefix match accepts it.
+func PutFieldReset(e *Entry) {
+	e.Body = e.Body[:0]
+	entryPool.Put(e)
+}

@@ -1,0 +1,110 @@
+// Package gateway is the tenantflow half of the taint fixture: direct
+// sinks, keyed sinks, interprocedural chains through summaries, boundary
+// stops, summary recursion, the tenant-header special case, and directive
+// suppression/staleness.
+package gateway
+
+import (
+	"net/http"
+
+	"canalmesh/internal/l7"
+	"canalmesh/internal/telemetry"
+)
+
+// Echo leaks request payload straight into a response write.
+func Echo(w http.ResponseWriter, req *l7.Request) {
+	http.Error(w, req.Path, http.StatusNotFound) // want "tenant payload from l7.Request.Path"
+}
+
+// LogKeyed is the correct shape: the entry carries the tenant key, so the
+// payload traveling with it is attributable.
+func LogKeyed(log *telemetry.AccessLog, req *l7.Request) {
+	log.Log(telemetry.AccessEntry{Tenant: req.Tenant, Path: req.Path})
+}
+
+// LogUnkeyed drops the key: one tenant's path lands anonymously in the
+// shared log.
+func LogUnkeyed(log *telemetry.AccessLog, req *l7.Request) {
+	log.Log(telemetry.AccessEntry{Path: req.Path}) // want "reaches the shared access log without a tenant key"
+}
+
+// Handle leaks through two summary hops: the report lands at the call that
+// injects the payload, carrying the chain down to the sink.
+func Handle(w http.ResponseWriter, req *l7.Request) {
+	emit(w, req.Path) // want "via internal/gateway.emit -> internal/gateway.write"
+}
+
+func emit(w http.ResponseWriter, p string) {
+	write(w, p)
+}
+
+func write(w http.ResponseWriter, p string) {
+	http.Error(w, p, http.StatusInternalServerError)
+}
+
+// respond is an audited isolation point: w is the requesting tenant's own
+// writer, so payload reaching it is not a cross-tenant leak. The boundary
+// makes the body exempt and the summary clean.
+//
+//canal:boundary w is the requesting tenant's own ResponseWriter
+func respond(w http.ResponseWriter, msg string) {
+	http.Error(w, msg, http.StatusForbidden)
+}
+
+// Reject stays quiet: the payload stops at the boundary.
+func Reject(w http.ResponseWriter, req *l7.Request) {
+	respond(w, req.Path)
+}
+
+// ping/pong form a summary SCC: the fixpoint must converge and report the
+// leak exactly once at the injection site.
+func ping(log *telemetry.AccessLog, p string, n int) {
+	if n == 0 {
+		log.Log(telemetry.AccessEntry{Path: p})
+		return
+	}
+	pong(log, p, n-1)
+}
+
+func pong(log *telemetry.AccessLog, p string, n int) {
+	ping(log, p, n)
+}
+
+// Recurse injects payload into the recursive pair.
+func Recurse(log *telemetry.AccessLog, req *l7.Request) {
+	ping(log, req.Path, 3) // want "reaches the shared access log"
+}
+
+// LogHeader reads the tenant header — identity, not payload — so the entry
+// is keyed and the user-agent payload travels attributably.
+func LogHeader(log *telemetry.AccessLog, r *http.Request) {
+	tenant := r.Header.Get("X-Canal-Tenant")
+	ua := r.Header.Get("User-Agent")
+	log.Log(telemetry.AccessEntry{Tenant: tenant, Path: ua})
+}
+
+// LogHeaderUnkeyed logs a request header with no tenant key at all.
+func LogHeaderUnkeyed(log *telemetry.AccessLog, r *http.Request) {
+	ua := r.Header.Get("User-Agent")
+	log.Log(telemetry.AccessEntry{Path: ua}) // want "tenant payload from http.Request.Header"
+}
+
+// Reviewed carries a justified suppression: the diagnostic is swallowed.
+func Reviewed(w http.ResponseWriter, req *l7.Request) {
+	//canal:allow tenantflow reviewed: the echo endpoint replays the caller its own path
+	http.Error(w, req.Path, http.StatusOK)
+}
+
+// Clean has a directive with nothing to suppress: the staleness report
+// fires on the directive itself.
+func Clean(w http.ResponseWriter) {
+	//canal:allow tenantflow nothing here leaks // want "suppresses nothing"
+	http.Error(w, "static body", http.StatusOK)
+}
+
+// unaudited carries a malformed boundary declaration: no reason.
+func unaudited(w http.ResponseWriter, msg string) {
+	// want+1 "canal:boundary needs a reason"
+	//canal:boundary
+	_, _ = w, msg
+}

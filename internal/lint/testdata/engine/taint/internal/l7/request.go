@@ -1,0 +1,11 @@
+// Package l7 poses as the module's request struct so the fixture exercises
+// the engine's real source table: Tenant is identity, everything else is
+// payload.
+package l7
+
+// Request mirrors the real l7.Request shape the sourceTypes table keys on.
+type Request struct {
+	Tenant string
+	Method string
+	Path   string
+}

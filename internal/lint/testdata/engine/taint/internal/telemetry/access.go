@@ -1,0 +1,21 @@
+// Package telemetry poses as the module's access log so (*AccessLog).Log
+// resolves to the engine's shared-access-log sink key.
+package telemetry
+
+// AccessEntry is one log record; Tenant is the keying field the engine's
+// composite-literal rule recognizes.
+type AccessEntry struct {
+	Tenant string
+	Path   string
+	Status int
+}
+
+// AccessLog collects entries.
+type AccessLog struct {
+	entries []AccessEntry
+}
+
+// Log appends one entry.
+func (l *AccessLog) Log(e AccessEntry) {
+	l.entries = append(l.entries, e)
+}

@@ -41,3 +41,18 @@ func localLit() {
 	g := &flusher{n: 1}
 	g.Flush() // want "g.Flush returns an error that is silently discarded"
 }
+
+// deferredDiscards pins the audited defer exemption: a deferred cleanup
+// call discarding its error is NOT flagged, in any resolvable form —
+// package function, method on a parameter, or method on a local. If a
+// future change makes any of these lines report, this fixture fails and
+// the exemption documented on ErrDrop has to be re-argued explicitly.
+func deferredDiscards(f *flusher) {
+	defer save("deferred")
+	defer f.Flush()
+	g := &flusher{n: 2}
+	defer g.Flush()
+	// The same calls in statement position still report, so the exemption
+	// is exactly defer-shaped, not a hole in callee resolution.
+	save("deferred") // want "save returns an error that is silently discarded"
+}

@@ -1,0 +1,24 @@
+// poolbleed single-directory fixture: exercises the engine's per-package
+// fallback (no module-wide taint engine installed).
+package bufpool
+
+import (
+	"bytes"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func PutDirty(b *bytes.Buffer) {
+	pool.Put(b) // want "b is returned to the pool without a reset"
+}
+
+func PutClean(b *bytes.Buffer) {
+	b.Reset()
+	pool.Put(b)
+}
+
+func PutFresh() {
+	// A value constructed at the Put site holds no previous request.
+	pool.Put(new(bytes.Buffer))
+}

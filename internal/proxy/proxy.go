@@ -167,11 +167,13 @@ type Config struct {
 }
 
 // startTrace begins the request's trace, or returns nil when tracing is off.
+// Traces are tenant-keyed: the simulated collector is shared across tenants
+// exactly like the live one.
 func (c Config) startTrace(arch string, req *l7.Request) *trace.Trace {
 	if c.Tracer == nil {
 		return nil
 	}
-	return c.Tracer.Start(arch, req.Method+" "+req.Path)
+	return c.Tracer.StartTenant(arch, req.Tenant, req.Method+" "+req.Path)
 }
 
 // finishTrace completes the request's trace with its final status.

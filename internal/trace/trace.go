@@ -114,12 +114,17 @@ type Hop struct {
 // Trace is the span tree of one end-to-end request: Spans[0] is the root,
 // later spans are hops in path order, each parented on the root.
 type Trace struct {
-	ID      TraceID `json:"id"`
-	Arch    string  `json:"arch,omitempty"`
-	Name    string  `json:"name"`
-	Status  int     `json:"status"`
-	Sampled bool    `json:"sampled"`
-	Spans   []Span  `json:"spans"`
+	ID   TraceID `json:"id"`
+	Arch string  `json:"arch,omitempty"`
+	Name string  `json:"name"`
+	// Tenant keys the trace to the tenant whose request it records, so the
+	// shared collector's exports stay attributable per tenant. Traces
+	// started on the request path must carry it (StartTenant /
+	// StartRemoteTenant); infrastructure traces may leave it empty.
+	Tenant  string `json:"tenant,omitempty"`
+	Status  int    `json:"status"`
+	Sampled bool   `json:"sampled"`
+	Spans   []Span `json:"spans"`
 
 	tracer *Tracer
 }
@@ -263,8 +268,16 @@ func (tr *Tracer) newSpanIDLocked() SpanID {
 
 // Start begins a new trace with a fresh TraceID, rooted at the current clock
 // reading. The head-sampling decision is drawn here, so propagated contexts
-// carry a consistent sampled flag end to end.
+// carry a consistent sampled flag end to end. Request-path traces must use
+// StartTenant instead: the collector is shared across tenants, and an
+// unkeyed trace carrying request data is exactly the leak canalvet's
+// tenantflow analyzer reports.
 func (tr *Tracer) Start(arch, name string) *Trace {
+	return tr.StartTenant(arch, "", name)
+}
+
+// StartTenant is Start keyed to the tenant whose request the trace records.
+func (tr *Tracer) StartTenant(arch, tenant, name string) *Trace {
 	tr.mu.Lock()
 	var id TraceID
 	for id.IsZero() {
@@ -274,21 +287,27 @@ func (tr *Tracer) Start(arch, name string) *Trace {
 	sampled := tr.head >= 1 || tr.rng.Float64() < tr.head
 	tr.started++
 	tr.mu.Unlock()
-	return tr.start(id, SpanID{}, root, arch, name, sampled)
+	return tr.start(id, SpanID{}, root, arch, tenant, name, sampled)
 }
 
 // StartRemote begins a trace joined to a propagated context (an extracted
 // traceparent): the remote trace ID is reused and the remote span becomes
-// the parent of this trace's root.
+// the parent of this trace's root. Like Start, request-path callers must
+// use the tenant-keyed variant.
 func (tr *Tracer) StartRemote(id TraceID, parent SpanID, sampled bool, arch, name string) *Trace {
+	return tr.StartRemoteTenant(id, parent, sampled, arch, "", name)
+}
+
+// StartRemoteTenant is StartRemote keyed to the requesting tenant.
+func (tr *Tracer) StartRemoteTenant(id TraceID, parent SpanID, sampled bool, arch, tenant, name string) *Trace {
 	tr.mu.Lock()
 	root := tr.newSpanIDLocked()
 	tr.started++
 	tr.mu.Unlock()
-	return tr.start(id, parent, root, arch, name, sampled)
+	return tr.start(id, parent, root, arch, tenant, name, sampled)
 }
 
-func (tr *Tracer) start(id TraceID, parent, root SpanID, arch, name string, sampled bool) *Trace {
+func (tr *Tracer) start(id TraceID, parent, root SpanID, arch, tenant, name string, sampled bool) *Trace {
 	// Room for the root plus seven hops before AddHop's append ever grows
 	// the slice — deeper than any proxy architecture modeled here.
 	spans := make([]Span, 1, 8)
@@ -297,6 +316,7 @@ func (tr *Tracer) start(id TraceID, parent, root SpanID, arch, name string, samp
 		ID:      id,
 		Arch:    arch,
 		Name:    name,
+		Tenant:  tenant,
 		Sampled: sampled,
 		Spans:   spans,
 		tracer:  tr,

@@ -2,8 +2,9 @@
 # Repo-wide verification: build, formatting, vet, the canalvet invariant
 # linters (sim determinism, map-order hygiene, atomic/lock discipline, error
 # hygiene, the type-aware unit-safety, context-flow, deprecation and
-# channel-leak analyzers, plus the call-graph-driven hotpath, lockorder and
-# transdeterminism analyzers — see internal/lint), and the full test suite
+# channel-leak analyzers, the call-graph-driven hotpath, lockorder and
+# transdeterminism analyzers, plus the taint-driven tenantflow, sharedmut
+# and poolbleed analyzers — see internal/lint), and the full test suite
 # under the race detector. This is the gate every PR must pass, and CI runs
 # exactly the same steps (.github/workflows/ci.yml).
 set -eu
@@ -19,14 +20,16 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
-go run ./cmd/canalvet -stale-as-error ./...
 
-# Diagnostic order is a byte-stable invariant (the call-graph engine walks
-# everything in sorted order): two fresh canalvet runs must emit identical
-# machine-readable output.
-go run ./cmd/canalvet -json /tmp/canalvet-run1.json ./...
-go run ./cmd/canalvet -json /tmp/canalvet-run2.json ./...
-cmp /tmp/canalvet-run1.json /tmp/canalvet-run2.json
+# Diagnostic order is a byte-stable invariant (the call-graph and dataflow
+# engines walk everything in sorted order): -runs 2 analyzes the module
+# twice in one process — the second run reuses the session cache's
+# type-checked packages but rebuilds the call graph and taint engine from
+# scratch — and both the in-process comparison and the external cmp must
+# find the runs identical. This single invocation also serves as the
+# -stale-as-error findings gate.
+go run ./cmd/canalvet -stale-as-error -runs 2 -json /tmp/canalvet-run1.json ./...
+cmp /tmp/canalvet-run1.json /tmp/canalvet-run1.json.run2
 
 go test -race ./...
 
